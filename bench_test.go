@@ -1,0 +1,315 @@
+// Package mavbench's repository-level benchmarks regenerate every table and
+// figure of the paper's evaluation section. Each benchmark runs the
+// corresponding experiment harness and reports the headline quantities as
+// custom benchmark metrics, so that
+//
+//	go test -bench=. -benchmem
+//
+// produces the full set of reproduction numbers in one pass. The benchmarks
+// use the "quick" experiment scale by default; set MAVBENCH_FULL=1 to run the
+// paper's full 3x3 operating-point grid (much slower).
+package mavbench_test
+
+import (
+	"os"
+	"testing"
+
+	"mavbench/internal/core"
+	"mavbench/internal/experiments"
+	_ "mavbench/internal/workloads"
+)
+
+func benchScale() experiments.Scale {
+	if os.Getenv("MAVBENCH_FULL") != "" {
+		return experiments.FullScale()
+	}
+	sc := experiments.QuickScale()
+	sc.WorldScale = 0.35
+	sc.MaxMissionTimeS = 420
+	return sc
+}
+
+func BenchmarkFig2_EnduranceVsBattery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig2()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig8a_TheoreticalMaxVelocity(b *testing.B) {
+	var v0, v4 float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig8a()
+		v0 = rows[0].MaxVelocity
+		v4 = rows[len(rows)-1].MaxVelocity
+	}
+	b.ReportMetric(v0, "vmax@0s_mps")
+	b.ReportMetric(v4, "vmax@4s_mps")
+}
+
+func BenchmarkFig8b_SlamFpsVelocityEnergy(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig8b()
+		reduction = rows[0].EnergyKJ / rows[len(rows)-1].EnergyKJ
+	}
+	b.ReportMetric(reduction, "energy_reduction_x")
+}
+
+func BenchmarkFig9a_PowerBreakdown(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		breakdown, _ := experiments.Fig9a()
+		share = breakdown.ComputeShare()
+	}
+	b.ReportMetric(share*100, "compute_share_pct")
+}
+
+func BenchmarkFig9b_MissionPowerTimeline(b *testing.B) {
+	var flyPower float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig9b()
+		for _, r := range rows {
+			if r.Phase == "flying" && r.VelocityMPS == 10 {
+				flyPower = r.MeanPowerW
+			}
+		}
+	}
+	b.ReportMetric(flyPower, "flying_power_w@10mps")
+}
+
+func BenchmarkTable1_KernelProfile(b *testing.B) {
+	sc := benchScale()
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows, _ = experiments.Table1(sc)
+	}
+	// Report the heavyweight kernels the paper highlights.
+	for _, r := range rows {
+		if r.Workload == "package_delivery" && r.Kernel == "occupancy_map_generation" {
+			b.ReportMetric(r.MeasuredMs, "octomap_pd_ms")
+		}
+		if r.Workload == "mapping_3d" && r.Kernel == "motion_planning_frontier_exploration" {
+			b.ReportMetric(r.MeasuredMs, "frontier_map3d_ms")
+		}
+	}
+}
+
+func sweepBenchmark(b *testing.B, fn func(experiments.Scale) ([]experiments.HeatMapCell, []core.Result, experiments.Table, error), workload string) {
+	b.Helper()
+	sc := benchScale()
+	var cells []experiments.HeatMapCell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, _, _, err = fn(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := experiments.Summarize(workload, cells)
+	b.ReportMetric(s.MissionTimeSpeedup, "mission_time_speedup_x")
+	b.ReportMetric(s.EnergyReduction, "energy_reduction_x")
+	b.ReportMetric(s.VelocityGain, "velocity_gain_x")
+}
+
+func BenchmarkFig10_Scanning(b *testing.B) {
+	sweepBenchmark(b, experiments.Fig10Scanning, "scanning")
+}
+
+func BenchmarkFig11_PackageDelivery(b *testing.B) {
+	sweepBenchmark(b, experiments.Fig11PackageDelivery, "package_delivery")
+}
+
+func BenchmarkFig12_Mapping(b *testing.B) {
+	sweepBenchmark(b, experiments.Fig12Mapping, "mapping_3d")
+}
+
+func BenchmarkFig13_SearchRescue(b *testing.B) {
+	sweepBenchmark(b, experiments.Fig13SearchRescue, "search_and_rescue")
+}
+
+func BenchmarkFig14_AerialPhotography(b *testing.B) {
+	sc := benchScale()
+	var cells []experiments.HeatMapCell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, _, _, err = experiments.Fig14AerialPhotography(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the error metric at the weakest and strongest operating points.
+	if len(cells) > 0 {
+		b.ReportMetric(cells[0].ErrorMetric, "error_norm_weakest")
+		b.ReportMetric(cells[len(cells)-1].ErrorMetric, "error_norm_strongest")
+	}
+}
+
+func BenchmarkFig15_KernelBreakdown(b *testing.B) {
+	sc := benchScale()
+	var rows []experiments.Fig15Row
+	for i := 0; i < b.N; i++ {
+		_, raw, _, err := experiments.Fig12Mapping(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, _ = experiments.Fig15(map[string][]core.Result{"mapping_3d": raw})
+	}
+	b.ReportMetric(float64(len(rows)), "kernel_rows")
+}
+
+func BenchmarkFig16_EdgeVsCloud(b *testing.B) {
+	sc := benchScale()
+	var rows []experiments.Fig16Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.Fig16(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) == 2 && rows[1].PlanningTimeS > 0 {
+		b.ReportMetric(rows[0].PlanningTimeS/rows[1].PlanningTimeS, "planning_speedup_x")
+		if rows[1].FlightTimeS > 0 {
+			b.ReportMetric(rows[0].FlightTimeS/rows[1].FlightTimeS, "mission_speedup_x")
+		}
+	}
+}
+
+func BenchmarkFig17_ResolutionPerception(b *testing.B) {
+	var passableFine, passableCoarse bool
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig17()
+		for _, r := range rows {
+			if r.ResolutionM == 0.15 {
+				passableFine = r.DoorwayPassable
+			}
+			if r.ResolutionM == 0.8 {
+				passableCoarse = r.DoorwayPassable
+			}
+		}
+	}
+	b.ReportMetric(boolMetric(passableFine), "doorway_passable@0.15m")
+	b.ReportMetric(boolMetric(passableCoarse), "doorway_passable@0.80m")
+}
+
+func BenchmarkFig18_OctomapResolutionTime(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig18()
+		ratio = rows[0].ModelTimeS / rows[len(rows)-1].ModelTimeS
+	}
+	b.ReportMetric(ratio, "fine_vs_coarse_time_x")
+}
+
+func BenchmarkFig19_DynamicResolution(b *testing.B) {
+	sc := benchScale()
+	var rows []experiments.Fig19Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.Fig19(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the remaining battery of the dynamic policy averaged over the
+	// three workloads, and the static-coarse failure count.
+	var dynBattery float64
+	var dynRuns int
+	var coarseFailures int
+	for _, r := range rows {
+		if r.Policy == "dynamic 0.15/0.80 m" {
+			dynBattery += r.BatteryRemaining
+			dynRuns++
+		}
+		if r.Policy == "static 0.80 m" && !r.Success {
+			coarseFailures++
+		}
+	}
+	if dynRuns > 0 {
+		b.ReportMetric(dynBattery/float64(dynRuns), "dynamic_battery_remaining_pct")
+	}
+	b.ReportMetric(float64(coarseFailures), "static_coarse_failures")
+}
+
+func BenchmarkTable2_SensorNoise(b *testing.B) {
+	sc := benchScale()
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.Table2(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) == 4 && rows[0].MissionTimeS > 0 {
+		b.ReportMetric(rows[3].MissionTimeS/rows[0].MissionTimeS, "mission_time_growth_x")
+		b.ReportMetric(rows[3].FailureRatePct, "failure_rate_pct@1.5m")
+	}
+}
+
+// Ablation benchmarks for the design choices called out in DESIGN.md.
+
+// BenchmarkAblation_PlannerChoice compares the three shortest-path planners
+// on the same package-delivery mission.
+func BenchmarkAblation_PlannerChoice(b *testing.B) {
+	sc := benchScale()
+	for _, planner := range []string{"rrt", "rrt_connect", "prm"} {
+		planner := planner
+		b.Run(planner, func(b *testing.B) {
+			var mission float64
+			for i := 0; i < b.N; i++ {
+				p := core.Params{
+					Workload:        "package_delivery",
+					Seed:            31,
+					Localizer:       "ground_truth",
+					Planner:         planner,
+					WorldScale:      sc.WorldScale,
+					MaxMissionTimeS: sc.MaxMissionTimeS,
+				}
+				res, err := core.Run(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mission = res.Report.MissionTimeS
+			}
+			b.ReportMetric(mission, "mission_time_s")
+		})
+	}
+}
+
+// BenchmarkAblation_LocalizerChoice compares GPS and visual-SLAM localization
+// on the mapping workload (SLAM adds compute and can fail at speed).
+func BenchmarkAblation_LocalizerChoice(b *testing.B) {
+	sc := benchScale()
+	for _, loc := range []string{"gps", "orb_slam2"} {
+		loc := loc
+		b.Run(loc, func(b *testing.B) {
+			var mission float64
+			for i := 0; i < b.N; i++ {
+				p := core.Params{
+					Workload:        "mapping_3d",
+					Seed:            37,
+					Localizer:       loc,
+					WorldScale:      sc.WorldScale,
+					MaxMissionTimeS: sc.MaxMissionTimeS,
+				}
+				res, err := core.Run(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mission = res.Report.MissionTimeS
+			}
+			b.ReportMetric(mission, "mission_time_s")
+		})
+	}
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,110 @@
+// Command mavbench-experiments regenerates the tables and figures of the
+// MAVBench paper's evaluation section and prints them as text tables.
+//
+// By default it runs the quick configuration; pass -full for the full
+// operating-point grid (substantially slower).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mavbench/internal/core"
+	"mavbench/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full-scale configuration (9 operating points, repeats)")
+	only := flag.String("only", "", "comma-separated experiment ids to run (fig2,fig8a,fig8b,fig9a,fig9b,table1,fig10-14,fig15,fig16,fig17,fig18,fig19,table2)")
+	flag.Parse()
+
+	sc := experiments.QuickScale()
+	if *full {
+		sc = experiments.FullScale()
+	}
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mavbench-experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	if want("fig2") {
+		_, tbl := experiments.Fig2()
+		fmt.Println(tbl)
+	}
+	if want("fig8a") {
+		_, tbl := experiments.Fig8a()
+		fmt.Println(tbl)
+	}
+	if want("fig8b") {
+		_, tbl := experiments.Fig8b()
+		fmt.Println(tbl)
+	}
+	if want("fig9a") {
+		_, tbl := experiments.Fig9a()
+		fmt.Println(tbl)
+	}
+	if want("fig9b") {
+		_, tbl := experiments.Fig9b()
+		fmt.Println(tbl)
+	}
+	if want("table1") {
+		_, tbl := experiments.Table1(sc)
+		fmt.Println(tbl)
+	}
+
+	var raw map[string][]core.Result
+	if want("fig10-14") || want("fig15") {
+		cells, results, tables, err := experiments.Fig10to14(sc)
+		fail(err)
+		raw = results
+		for _, tbl := range tables {
+			fmt.Println(tbl)
+		}
+		fmt.Println("== Summary: best vs worst operating point ==")
+		for wl, c := range cells {
+			s := experiments.Summarize(wl, c)
+			fmt.Printf("%-22s mission-time speedup %.2fX, energy reduction %.2fX, velocity gain %.2fX\n",
+				wl, s.MissionTimeSpeedup, s.EnergyReduction, s.VelocityGain)
+		}
+		fmt.Println()
+	}
+	if want("fig15") && raw != nil {
+		_, tbl := experiments.Fig15(raw)
+		fmt.Println(tbl)
+	}
+	if want("fig16") {
+		_, tbl, err := experiments.Fig16(sc)
+		fail(err)
+		fmt.Println(tbl)
+	}
+	if want("fig17") {
+		_, tbl := experiments.Fig17()
+		fmt.Println(tbl)
+	}
+	if want("fig18") {
+		_, tbl := experiments.Fig18()
+		fmt.Println(tbl)
+	}
+	if want("fig19") {
+		_, tbl, err := experiments.Fig19(sc)
+		fail(err)
+		fmt.Println(tbl)
+	}
+	if want("table2") {
+		_, tbl, err := experiments.Table2(sc)
+		fail(err)
+		fmt.Println(tbl)
+	}
+}

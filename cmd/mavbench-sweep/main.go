@@ -1,0 +1,44 @@
+// Command mavbench-sweep runs one workload across the paper's TX2 operating
+// points (cores × frequency) and prints the heat-map data of Figures 10-14 as
+// CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mavbench/internal/compute"
+	"mavbench/internal/core"
+	_ "mavbench/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "package_delivery", "workload to sweep")
+	seed := flag.Int64("seed", 1, "random seed")
+	scale := flag.Float64("world-scale", 0.45, "environment scale factor")
+	maxTime := flag.Float64("max-mission-time", 900, "mission time limit per run (seconds)")
+	flag.Parse()
+
+	base := core.Params{
+		Workload:        *workload,
+		Seed:            *seed,
+		Localizer:       "ground_truth",
+		WorldScale:      *scale,
+		MaxMissionTimeS: *maxTime,
+	}
+	fmt.Println("workload,cores,freq_ghz,avg_velocity_mps,mission_time_s,energy_kj,hover_time_s,success")
+	for _, pt := range compute.PaperOperatingPoints() {
+		p := base
+		p.Cores = pt.Cores
+		p.FreqGHz = pt.FreqGHz
+		res, err := core.Run(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mavbench-sweep:", err)
+			os.Exit(1)
+		}
+		r := res.Report
+		fmt.Printf("%s,%d,%.1f,%.2f,%.1f,%.1f,%.1f,%v\n",
+			*workload, pt.Cores, pt.FreqGHz, r.AverageSpeed, r.MissionTimeS, r.TotalEnergyKJ, r.HoverTimeS, r.Success)
+	}
+}

@@ -1,0 +1,64 @@
+// Command mavbench runs a single MAVBench workload in the closed-loop
+// simulator and prints its quality-of-flight report.
+//
+// Example:
+//
+//	mavbench -workload package_delivery -cores 2 -freq 0.8 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mavbench/internal/core"
+	_ "mavbench/internal/workloads"
+)
+
+func main() {
+	var p core.Params
+	flag.StringVar(&p.Workload, "workload", "package_delivery",
+		"workload to run: "+strings.Join(core.Workloads(), ", "))
+	flag.IntVar(&p.Cores, "cores", 4, "companion-computer core count (2-4)")
+	flag.Float64Var(&p.FreqGHz, "freq", 2.2, "companion-computer frequency in GHz (0.8, 1.5, 2.2)")
+	flag.Int64Var(&p.Seed, "seed", 1, "random seed (world generation and noise)")
+	flag.StringVar(&p.Detector, "detector", "yolo", "object detector kernel: yolo, hog, haar")
+	flag.StringVar(&p.Localizer, "localizer", "gps", "localization kernel: ground_truth, gps, orb_slam2")
+	flag.StringVar(&p.Planner, "planner", "rrt_connect", "motion planner: rrt, rrt_connect, prm")
+	flag.Float64Var(&p.OctomapResolution, "octomap-resolution", 0.15, "occupancy-map voxel size in meters")
+	flag.BoolVar(&p.DynamicResolution, "dynamic-resolution", false, "switch OctoMap resolution with obstacle density")
+	flag.Float64Var(&p.DepthNoiseStd, "depth-noise", 0, "Gaussian depth-noise standard deviation in meters")
+	flag.BoolVar(&p.CloudOffload, "cloud-offload", false, "offload planning kernels to a cloud server")
+	flag.StringVar(&p.Environment, "environment", "", "override environment: urban, indoor, farm, disaster, park, empty")
+	flag.Float64Var(&p.WorldScale, "world-scale", 1.0, "scale factor for the environment extent")
+	flag.Float64Var(&p.MaxMissionTimeS, "max-mission-time", 0, "mission time limit in seconds (0 = workload default)")
+	csv := flag.Bool("csv", false, "print a CSV row instead of the full report")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range core.Workloads() {
+			w, _ := core.Lookup(name)
+			fmt.Printf("%-22s %s\n", name, w.Description())
+		}
+		return
+	}
+
+	res, err := core.Run(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mavbench:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Println("workload,cores,freq_ghz," + coreCSVHeader())
+		fmt.Printf("%s,%d,%.1f,%s\n", res.Params.Workload, res.Params.Cores, res.Params.FreqGHz, res.Report.CSVRow())
+		return
+	}
+	fmt.Printf("workload: %s on %s\n", res.Params.Workload, res.PlatformName)
+	fmt.Print(res.Report.String())
+}
+
+func coreCSVHeader() string {
+	return "mission_time_s,flight_time_s,hover_time_s,avg_speed_mps,max_speed_mps,distance_m,rotor_energy_kj,compute_energy_kj,total_energy_kj,success"
+}

@@ -1,0 +1,49 @@
+// 3-D mapping example: explore an unknown disaster area with the frontier
+// (next-best-view) planner and report how much of the volume was mapped,
+// how much time was spent hovering while the planner ran, and the per-kernel
+// compute profile.
+//
+//	go run ./examples/mapping3d
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"mavbench/internal/core"
+	_ "mavbench/internal/workloads"
+)
+
+func main() {
+	params := core.Params{
+		Workload:        "mapping_3d",
+		Cores:           4,
+		FreqGHz:         2.2,
+		Seed:            11,
+		Localizer:       "ground_truth",
+		Planner:         "rrt_connect",
+		WorldScale:      0.35,
+		MaxMissionTimeS: 600,
+	}
+	res, err := core.Run(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := res.Report
+	fmt.Printf("3-D mapping mission: success=%v\n", r.Success)
+	fmt.Printf("  mission time: %.1f s (hover %.1f s)\n", r.MissionTimeS, r.HoverTimeS)
+	fmt.Printf("  map coverage: %.1f%% of the bounded volume\n", 100*r.Maxes["map_known_fraction"])
+	fmt.Printf("  exploration goals: %.0f, energy: %.1f kJ\n", r.Counters["exploration_goals"], r.TotalEnergyKJ)
+
+	fmt.Println("  kernel profile:")
+	names := make([]string, 0, len(r.KernelTime))
+	for k := range r.KernelTime {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("    %-42s %8.2f s total, %6.1f ms mean\n",
+			k, r.KernelTime[k].Seconds(), float64(r.KernelMean[k].Microseconds())/1000)
+	}
+}

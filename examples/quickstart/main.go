@@ -1,0 +1,34 @@
+// Quickstart: run one MAVBench workload end to end and print its
+// quality-of-flight report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mavbench/internal/core"
+	_ "mavbench/internal/workloads"
+)
+
+func main() {
+	// Pick a workload, a compute operating point and a seed; everything else
+	// uses the benchmark defaults. WorldScale shrinks the environment so the
+	// example finishes in a few seconds of wall-clock time.
+	params := core.Params{
+		Workload:        "scanning",
+		Cores:           4,
+		FreqGHz:         2.2,
+		Seed:            42,
+		WorldScale:      0.4,
+		MaxMissionTimeS: 600,
+	}
+
+	result, err := core.Run(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %s on %s\n\n", result.Params.Workload, result.PlatformName)
+	fmt.Print(result.Report.String())
+}

@@ -1,0 +1,173 @@
+package actuation
+
+import (
+	"testing"
+
+	"mavbench/internal/energy"
+	"mavbench/internal/geom"
+	"mavbench/internal/mavlink"
+	"mavbench/internal/physics"
+)
+
+func newFC() *FlightController {
+	q := physics.NewQuadrotor(physics.DefaultParams(), geom.V3(0, 0, 0))
+	return New(DefaultConfig(), q, 0)
+}
+
+func TestModeStringsAndPhases(t *testing.T) {
+	modes := []Mode{ModeDisarmed, ModeArmed, ModeTakeoff, ModeOffboard, ModeLanding, ModeLanded, Mode(42)}
+	for _, m := range modes {
+		if m.String() == "" {
+			t.Errorf("empty string for mode %d", m)
+		}
+	}
+	if ModeOffboard.FlightPhase() != energy.PhaseFlying {
+		t.Error("offboard should map to flying")
+	}
+	if ModeDisarmed.FlightPhase() != energy.PhaseArming {
+		t.Error("disarmed should map to arming")
+	}
+	if ModeLanded.FlightPhase() != energy.PhaseLanded {
+		t.Error("landed should map to landed")
+	}
+}
+
+func TestArmTakeoffSequence(t *testing.T) {
+	fc := newFC()
+	if fc.Mode() != ModeDisarmed {
+		t.Fatal("should start disarmed")
+	}
+	if err := fc.Takeoff(); err == nil {
+		t.Error("takeoff before arming should fail")
+	}
+	if err := fc.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Arm(); err == nil {
+		t.Error("double arm should fail")
+	}
+	if err := fc.Takeoff(); err != nil {
+		t.Fatal(err)
+	}
+	// Step until takeoff completes.
+	for i := 0; i < 2000 && fc.Mode() == ModeTakeoff; i++ {
+		fc.Step(0.02)
+		fc.Vehicle().Step(0.02)
+	}
+	if fc.Mode() != ModeOffboard {
+		t.Fatalf("mode after takeoff = %v", fc.Mode())
+	}
+	alt := fc.Vehicle().State().Position.Z
+	if alt < fc.Config.TakeoffAltitude-1 {
+		t.Errorf("altitude after takeoff = %v", alt)
+	}
+}
+
+func TestOffboardVelocityAndLanding(t *testing.T) {
+	fc := newFC()
+	if err := fc.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Takeoff(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000 && fc.Mode() == ModeTakeoff; i++ {
+		fc.Step(0.02)
+		fc.Vehicle().Step(0.02)
+	}
+
+	if err := fc.SetVelocity(mavlink.VelocitySetpoint{Velocity: geom.V3(3, 0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		fc.Step(0.02)
+		fc.Vehicle().Step(0.02)
+	}
+	if fc.Vehicle().State().Position.X <= 1 {
+		t.Errorf("vehicle did not move forward: %v", fc.Vehicle().State().Position)
+	}
+
+	if err := fc.Land(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000 && fc.Mode() != ModeLanded; i++ {
+		fc.Step(0.02)
+		fc.Vehicle().Step(0.02)
+	}
+	if fc.Mode() != ModeLanded {
+		t.Fatalf("landing never completed, mode=%v alt=%v", fc.Mode(), fc.Vehicle().State().Position.Z)
+	}
+	if fc.Vehicle().State().Airborne {
+		t.Error("vehicle still airborne after landing")
+	}
+}
+
+func TestVelocityRejectedWhenNotFlying(t *testing.T) {
+	fc := newFC()
+	if err := fc.SetVelocity(mavlink.VelocitySetpoint{Velocity: geom.V3(1, 0, 0)}); err == nil {
+		t.Error("velocity setpoint should be rejected while disarmed")
+	}
+	if err := fc.Land(); err == nil {
+		t.Error("landing while disarmed should fail")
+	}
+}
+
+func TestHandleFrame(t *testing.T) {
+	fc := newFC()
+	arm := mavlink.EncodeCommand(1, mavlink.MsgIDCommandArm, 0).Marshal()
+	if err := fc.HandleFrame(arm); err != nil {
+		t.Fatal(err)
+	}
+	takeoff := mavlink.EncodeCommand(2, mavlink.MsgIDCommandTakeoff, 5).Marshal()
+	if err := fc.HandleFrame(takeoff); err != nil {
+		t.Fatal(err)
+	}
+	vel := mavlink.EncodeVelocitySetpoint(3, mavlink.VelocitySetpoint{Velocity: geom.V3(2, 0, 0)}).Marshal()
+	if err := fc.HandleFrame(vel); err != nil {
+		t.Fatal(err)
+	}
+	if fc.CommandsReceived() != 3 {
+		t.Errorf("CommandsReceived = %d", fc.CommandsReceived())
+	}
+
+	// Garbage frame.
+	if err := fc.HandleFrame([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage frame should fail")
+	}
+	// Valid frame, unsupported message.
+	unknown := mavlink.Frame{MessageID: 200, Payload: []byte{1}}.Marshal()
+	if err := fc.HandleFrame(unknown); err == nil {
+		t.Error("unsupported message should fail")
+	}
+	// Valid frame, invalid for the mode (arm twice).
+	if err := fc.HandleFrame(arm); err == nil {
+		t.Error("double arm via frame should fail")
+	}
+	if fc.FramesRejected() != 3 {
+		t.Errorf("FramesRejected = %d", fc.FramesRejected())
+	}
+}
+
+func TestTelemetryRoundTrip(t *testing.T) {
+	fc := newFC()
+	raw := fc.Telemetry()
+	frame, _, err := mavlink.Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := mavlink.DecodeLocalPosition(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Position != fc.Vehicle().State().Position {
+		t.Errorf("telemetry position %v != state %v", lp.Position, fc.Vehicle().State().Position)
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	q := physics.NewQuadrotor(physics.DefaultParams(), geom.V3(0, 0, 0))
+	fc := New(Config{}, q, 0)
+	if fc.Config.TakeoffAltitude <= 0 {
+		t.Error("zero config should get defaults")
+	}
+}

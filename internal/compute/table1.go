@@ -1,0 +1,80 @@
+package compute
+
+import "time"
+
+// Table1Entry records the measured per-kernel runtime for one workload as
+// reported by the paper's Table I (milliseconds, 4 cores at 2.2 GHz). The
+// experiments harness compares the reproduction's simulated kernel times
+// against these reference values.
+type Table1Entry struct {
+	Workload string
+	Kernel   string
+	PaperMs  float64
+}
+
+// PaperTable1 is the paper's Table I, flattened. A zero PaperMs value means
+// the paper reports the kernel as sub-millisecond ("0").
+func PaperTable1() []Table1Entry {
+	return []Table1Entry{
+		// Scanning.
+		{Workload: "scanning", Kernel: KernelLawnmower, PaperMs: 89},
+		{Workload: "scanning", Kernel: KernelPathTracking, PaperMs: 1},
+
+		// Aerial Photography.
+		{Workload: "aerial_photography", Kernel: KernelObjectDetectYOLO, PaperMs: 307},
+		{Workload: "aerial_photography", Kernel: KernelTrackBuffered, PaperMs: 80},
+		{Workload: "aerial_photography", Kernel: KernelTrackRealTime, PaperMs: 18},
+		{Workload: "aerial_photography", Kernel: KernelLocalizeGPS, PaperMs: 0},
+		{Workload: "aerial_photography", Kernel: KernelPID, PaperMs: 0},
+		{Workload: "aerial_photography", Kernel: KernelPathTracking, PaperMs: 1},
+
+		// Package Delivery.
+		{Workload: "package_delivery", Kernel: KernelPointCloud, PaperMs: 2},
+		{Workload: "package_delivery", Kernel: KernelOctomap, PaperMs: 630},
+		{Workload: "package_delivery", Kernel: KernelCollisionCheck, PaperMs: 1},
+		{Workload: "package_delivery", Kernel: KernelLocalizeGPS, PaperMs: 0},
+		{Workload: "package_delivery", Kernel: KernelLocalizeSLAM, PaperMs: 55},
+		{Workload: "package_delivery", Kernel: KernelShortestPath, PaperMs: 182},
+		{Workload: "package_delivery", Kernel: KernelPathTracking, PaperMs: 1},
+
+		// 3D Mapping.
+		{Workload: "mapping_3d", Kernel: KernelPointCloud, PaperMs: 2},
+		{Workload: "mapping_3d", Kernel: KernelOctomap, PaperMs: 482},
+		{Workload: "mapping_3d", Kernel: KernelCollisionCheck, PaperMs: 1},
+		{Workload: "mapping_3d", Kernel: KernelLocalizeGPS, PaperMs: 0},
+		{Workload: "mapping_3d", Kernel: KernelLocalizeSLAM, PaperMs: 46},
+		{Workload: "mapping_3d", Kernel: KernelFrontierExplore, PaperMs: 2647},
+		{Workload: "mapping_3d", Kernel: KernelPathTracking, PaperMs: 1},
+
+		// Search and Rescue.
+		{Workload: "search_and_rescue", Kernel: KernelPointCloud, PaperMs: 2},
+		{Workload: "search_and_rescue", Kernel: KernelOctomap, PaperMs: 427},
+		{Workload: "search_and_rescue", Kernel: KernelCollisionCheck, PaperMs: 1},
+		{Workload: "search_and_rescue", Kernel: KernelObjectDetectHOG, PaperMs: 271},
+		{Workload: "search_and_rescue", Kernel: KernelLocalizeGPS, PaperMs: 0},
+		{Workload: "search_and_rescue", Kernel: KernelLocalizeSLAM, PaperMs: 45},
+		{Workload: "search_and_rescue", Kernel: KernelFrontierExplore, PaperMs: 2693},
+		{Workload: "search_and_rescue", Kernel: KernelPathTracking, PaperMs: 1},
+	}
+}
+
+// Table1Workloads returns the workloads appearing in Table I in paper order.
+func Table1Workloads() []string {
+	return []string{"scanning", "aerial_photography", "package_delivery", "mapping_3d", "search_and_rescue"}
+}
+
+// PaperTable1For returns the Table I entries belonging to one workload.
+func PaperTable1For(workload string) []Table1Entry {
+	var out []Table1Entry
+	for _, e := range PaperTable1() {
+		if e.Workload == workload {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PaperDuration converts the entry's millisecond value into a duration.
+func (e Table1Entry) PaperDuration() time.Duration {
+	return time.Duration(e.PaperMs * float64(time.Millisecond))
+}

@@ -1,0 +1,228 @@
+// Package control implements the control stage of the MAVBench pipeline:
+// PID controllers, trajectory/path tracking and command issue.
+//
+// The path tracker consumes the time-parameterised trajectories produced by
+// the planning stage and emits velocity setpoints for the flight controller,
+// continuously correcting the accumulated position error — the "Path
+// Tracking / Command Issue" kernel of Table I. The PID controller is the one
+// the Aerial Photography workload uses to keep the tracked subject centered
+// in the camera frame.
+package control
+
+import (
+	"math"
+
+	"mavbench/internal/geom"
+	"mavbench/internal/planning"
+)
+
+// PID is a scalar proportional-integral-derivative controller with output
+// limiting and integral anti-windup.
+type PID struct {
+	Kp, Ki, Kd float64
+	// OutputLimit bounds the magnitude of the output (0 = unbounded).
+	OutputLimit float64
+	// IntegralLimit bounds the magnitude of the integral term (0 = unbounded).
+	IntegralLimit float64
+
+	integral float64
+	prevErr  float64
+	hasPrev  bool
+}
+
+// NewPID returns a PID controller with the given gains.
+func NewPID(kp, ki, kd float64) *PID { return &PID{Kp: kp, Ki: ki, Kd: kd} }
+
+// Update advances the controller by dt with the given error and returns the
+// control output.
+func (c *PID) Update(err, dt float64) float64 {
+	if dt <= 0 {
+		return c.lastOutput(err)
+	}
+	c.integral += err * dt
+	if c.IntegralLimit > 0 {
+		c.integral = geom.Clamp(c.integral, -c.IntegralLimit, c.IntegralLimit)
+	}
+	derivative := 0.0
+	if c.hasPrev {
+		derivative = (err - c.prevErr) / dt
+	}
+	c.prevErr = err
+	c.hasPrev = true
+
+	out := c.Kp*err + c.Ki*c.integral + c.Kd*derivative
+	if c.OutputLimit > 0 {
+		out = geom.Clamp(out, -c.OutputLimit, c.OutputLimit)
+	}
+	return out
+}
+
+func (c *PID) lastOutput(err float64) float64 {
+	out := c.Kp*err + c.Ki*c.integral
+	if c.OutputLimit > 0 {
+		out = geom.Clamp(out, -c.OutputLimit, c.OutputLimit)
+	}
+	return out
+}
+
+// Reset clears the controller state.
+func (c *PID) Reset() {
+	c.integral = 0
+	c.prevErr = 0
+	c.hasPrev = false
+}
+
+// VelocityCommand is the tracker's output: the velocity and yaw-rate setpoint
+// handed to the flight controller.
+type VelocityCommand struct {
+	Velocity geom.Vec3
+	YawRate  float64
+	// Hover requests a zero-velocity hold (e.g. trajectory finished or no
+	// trajectory available).
+	Hover bool
+}
+
+// TrackerConfig tunes the trajectory tracker.
+type TrackerConfig struct {
+	// PositionGain converts position error into corrective velocity.
+	PositionGain float64
+	// MaxVelocity bounds the commanded speed.
+	MaxVelocity float64
+	// YawGain converts heading error into yaw rate.
+	YawGain float64
+	// GoalTolerance is the distance at which the trajectory counts as
+	// completed.
+	GoalTolerance float64
+}
+
+// DefaultTrackerConfig matches the benchmark's tracker.
+func DefaultTrackerConfig() TrackerConfig {
+	return TrackerConfig{PositionGain: 1.2, MaxVelocity: 10, YawGain: 1.5, GoalTolerance: 1.0}
+}
+
+// Tracker follows a trajectory, re-issuing velocity commands that blend the
+// trajectory's feed-forward velocity with feedback on the position error.
+type Tracker struct {
+	Config TrackerConfig
+
+	traj      planning.Trajectory
+	startTime float64
+	active    bool
+
+	// error statistics for QoF reporting
+	maxError float64
+	sumError float64
+	samples  int
+}
+
+// NewTracker returns an idle tracker.
+func NewTracker(cfg TrackerConfig) *Tracker {
+	if cfg.PositionGain <= 0 {
+		cfg = DefaultTrackerConfig()
+	}
+	return &Tracker{Config: cfg}
+}
+
+// SetTrajectory installs a new trajectory beginning at the given time.
+func (t *Tracker) SetTrajectory(traj planning.Trajectory, now float64) {
+	t.traj = traj
+	t.startTime = now
+	t.active = !traj.Empty()
+}
+
+// Active reports whether the tracker currently follows a trajectory.
+func (t *Tracker) Active() bool { return t.active }
+
+// Trajectory returns the trajectory being followed.
+func (t *Tracker) Trajectory() planning.Trajectory { return t.traj }
+
+// Stop abandons the current trajectory (the vehicle will hover).
+func (t *Tracker) Stop() { t.active = false }
+
+// Progress returns the fraction of the trajectory's duration elapsed.
+func (t *Tracker) Progress(now float64) float64 {
+	if !t.active || t.traj.Duration() <= 0 {
+		return 0
+	}
+	p := (now - t.startTime) / t.traj.Duration()
+	return geom.Clamp(p, 0, 1)
+}
+
+// MeanError returns the mean tracking error observed so far.
+func (t *Tracker) MeanError() float64 {
+	if t.samples == 0 {
+		return 0
+	}
+	return t.sumError / float64(t.samples)
+}
+
+// MaxError returns the worst tracking error observed so far.
+func (t *Tracker) MaxError() float64 { return t.maxError }
+
+// Update computes the next velocity command for the vehicle at the given
+// pose and time. done is true once the end of the trajectory is reached
+// within the goal tolerance.
+func (t *Tracker) Update(pose geom.Pose, now float64) (cmd VelocityCommand, done bool) {
+	if !t.active {
+		return VelocityCommand{Hover: true}, false
+	}
+	elapsed := now - t.startTime
+	ref := t.traj.Sample(elapsed)
+
+	posErr := ref.Position.Sub(pose.Position)
+	errNorm := posErr.Norm()
+	t.maxError = math.Max(t.maxError, errNorm)
+	t.sumError += errNorm
+	t.samples++
+
+	// Completion: past the trajectory's duration and close to its end.
+	if elapsed >= t.traj.Duration() && pose.Position.Dist(t.traj.End()) <= t.Config.GoalTolerance {
+		t.active = false
+		return VelocityCommand{Hover: true}, true
+	}
+
+	vel := ref.Velocity.Add(posErr.Scale(t.Config.PositionGain)).ClampNorm(t.Config.MaxVelocity)
+	yawErr := geom.AngleDiff(ref.Yaw, pose.Yaw)
+	return VelocityCommand{Velocity: vel, YawRate: t.Config.YawGain * yawErr}, false
+}
+
+// FramingController is the aerial-photography controller: a pair of PID loops
+// that keep the tracked subject's bounding-box center at the image center by
+// commanding lateral/vertical velocity, plus a distance hold.
+type FramingController struct {
+	Horizontal *PID
+	Vertical   *PID
+	Range      *PID
+	// DesiredDistance is the stand-off distance from the subject.
+	DesiredDistance float64
+	// MaxVelocity bounds the commanded speed.
+	MaxVelocity float64
+}
+
+// NewFramingController returns the benchmark's framing controller.
+func NewFramingController() *FramingController {
+	h := NewPID(0.01, 0, 0.002)
+	h.OutputLimit = 4
+	v := NewPID(0.008, 0, 0.002)
+	v.OutputLimit = 2
+	r := NewPID(0.8, 0, 0.1)
+	r.OutputLimit = 5
+	return &FramingController{Horizontal: h, Vertical: v, Range: r, DesiredDistance: 8, MaxVelocity: 6}
+}
+
+// Update converts the pixel error of the subject's box center (relative to
+// the image center) and its distance into a body-frame velocity command.
+// pixelErrX > 0 means the subject is to the right of center.
+func (f *FramingController) Update(pixelErrX, pixelErrY, distance, dt float64, pose geom.Pose) VelocityCommand {
+	lateral := f.Horizontal.Update(pixelErrX, dt)
+	vertical := -f.Vertical.Update(pixelErrY, dt)
+	forward := f.Range.Update(distance-f.DesiredDistance, dt)
+
+	vel := pose.Forward().Scale(forward).
+		Add(pose.Right().Scale(lateral)).
+		Add(geom.V3(0, 0, vertical)).
+		ClampNorm(f.MaxVelocity)
+	// Yaw toward the subject to keep it horizontally centered as well.
+	yawRate := -0.002 * pixelErrX
+	return VelocityCommand{Velocity: vel, YawRate: yawRate}
+}

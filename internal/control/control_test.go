@@ -1,0 +1,189 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"mavbench/internal/geom"
+	"mavbench/internal/planning"
+)
+
+func TestPIDProportional(t *testing.T) {
+	pid := NewPID(2, 0, 0)
+	if got := pid.Update(3, 0.1); got != 6 {
+		t.Errorf("P-only output = %v, want 6", got)
+	}
+}
+
+func TestPIDIntegralAccumulates(t *testing.T) {
+	pid := NewPID(0, 1, 0)
+	out1 := pid.Update(1, 1)
+	out2 := pid.Update(1, 1)
+	if out2 <= out1 {
+		t.Errorf("integral should accumulate: %v then %v", out1, out2)
+	}
+	pid.Reset()
+	if pid.Update(0, 1) != 0 {
+		t.Error("Reset should clear the integral")
+	}
+}
+
+func TestPIDDerivative(t *testing.T) {
+	pid := NewPID(0, 0, 1)
+	pid.Update(0, 0.1)
+	out := pid.Update(1, 0.1) // error rose by 1 over 0.1 s -> derivative 10
+	if math.Abs(out-10) > 1e-9 {
+		t.Errorf("derivative output = %v, want 10", out)
+	}
+}
+
+func TestPIDLimits(t *testing.T) {
+	pid := NewPID(100, 10, 0)
+	pid.OutputLimit = 5
+	pid.IntegralLimit = 1
+	out := pid.Update(10, 1)
+	if out != 5 {
+		t.Errorf("output = %v, want clamp at 5", out)
+	}
+	for i := 0; i < 100; i++ {
+		pid.Update(10, 1)
+	}
+	if pid.integral > 1+1e-9 {
+		t.Errorf("integral %v exceeded anti-windup limit", pid.integral)
+	}
+	// Zero dt returns a finite value and does not corrupt state.
+	if math.IsNaN(pid.Update(1, 0)) {
+		t.Error("zero-dt update produced NaN")
+	}
+}
+
+func straightTrajectory() planning.Trajectory {
+	path := planning.Path{Waypoints: []geom.Vec3{geom.V3(0, 0, 5), geom.V3(30, 0, 5)}}
+	return planning.Smooth(path, planning.DefaultSmoothingOptions())
+}
+
+func TestTrackerFollowsTrajectory(t *testing.T) {
+	tr := NewTracker(DefaultTrackerConfig())
+	traj := straightTrajectory()
+	tr.SetTrajectory(traj, 0)
+	if !tr.Active() {
+		t.Fatal("tracker should be active")
+	}
+
+	// Simulate a vehicle that follows commands perfectly.
+	pos := geom.V3(0, 0, 5)
+	yaw := 0.0
+	dt := 0.05
+	now := 0.0
+	done := false
+	var midProgress float64
+	for step := 0; step < 10000 && !done; step++ {
+		var cmd VelocityCommand
+		cmd, done = tr.Update(geom.NewPose(pos, yaw), now)
+		if tr.Active() {
+			midProgress = tr.Progress(now)
+		}
+		if cmd.Hover {
+			continue
+		}
+		pos = pos.Add(cmd.Velocity.Scale(dt))
+		yaw += cmd.YawRate * dt
+		now += dt
+	}
+	if !done {
+		t.Fatal("tracker never completed the trajectory")
+	}
+	if pos.Dist(geom.V3(30, 0, 5)) > 1.5 {
+		t.Errorf("vehicle ended at %v, want near (30,0,5)", pos)
+	}
+	if tr.Active() {
+		t.Error("tracker should deactivate after completion")
+	}
+	if tr.MeanError() < 0 || tr.MaxError() < tr.MeanError() {
+		t.Error("error statistics inconsistent")
+	}
+	if midProgress <= 0 || midProgress > 1 {
+		t.Errorf("progress while active = %v, want in (0, 1]", midProgress)
+	}
+}
+
+func TestTrackerCorrectsDisturbance(t *testing.T) {
+	tr := NewTracker(DefaultTrackerConfig())
+	tr.SetTrajectory(straightTrajectory(), 0)
+	// Vehicle pushed off the path: the command should point it back (+Y error
+	// => command with negative Y toward the reference).
+	cmd, _ := tr.Update(geom.NewPose(geom.V3(5, 4, 5), 0), 2)
+	if cmd.Hover {
+		t.Fatal("tracker should not hover mid-trajectory")
+	}
+	if cmd.Velocity.Y >= 0 {
+		t.Errorf("command %v does not correct the +Y offset", cmd.Velocity)
+	}
+}
+
+func TestTrackerInactiveHovers(t *testing.T) {
+	tr := NewTracker(DefaultTrackerConfig())
+	cmd, done := tr.Update(geom.NewPose(geom.V3(0, 0, 5), 0), 0)
+	if !cmd.Hover || done {
+		t.Error("inactive tracker should command hover")
+	}
+	tr.SetTrajectory(straightTrajectory(), 0)
+	tr.Stop()
+	if tr.Active() {
+		t.Error("Stop should deactivate the tracker")
+	}
+	if tr.Progress(10) != 0 {
+		t.Error("stopped tracker should report zero progress")
+	}
+	// Empty trajectory never activates.
+	tr.SetTrajectory(planning.Trajectory{}, 0)
+	if tr.Active() {
+		t.Error("empty trajectory should not activate the tracker")
+	}
+	if !tr.Trajectory().Empty() {
+		t.Error("Trajectory accessor mismatch")
+	}
+}
+
+func TestTrackerZeroConfigGetsDefaults(t *testing.T) {
+	tr := NewTracker(TrackerConfig{})
+	if tr.Config.PositionGain <= 0 || tr.Config.MaxVelocity <= 0 {
+		t.Error("zero config should fall back to defaults")
+	}
+}
+
+func TestFramingControllerCentersSubject(t *testing.T) {
+	fc := NewFramingController()
+	pose := geom.NewPose(geom.V3(0, 0, 5), 0) // facing +X, right = -Y... (Right() = (sin, -cos) = (0,-1))
+	// Subject to the right of frame center (positive pixel error) should
+	// produce lateral velocity toward the subject (along pose.Right()).
+	cmd := fc.Update(100, 0, fc.DesiredDistance, 0.1, pose)
+	right := pose.Right()
+	if cmd.Velocity.Dot(right) <= 0 {
+		t.Errorf("command %v does not move toward the subject side", cmd.Velocity)
+	}
+	// Yaw rate should turn toward the subject (negative for positive error,
+	// since positive pixel error means the subject is clockwise).
+	if cmd.YawRate >= 0 {
+		t.Errorf("yaw rate %v should be negative for a subject right of center", cmd.YawRate)
+	}
+
+	// Subject too far away: move forward.
+	fc2 := NewFramingController()
+	cmd = fc2.Update(0, 0, fc2.DesiredDistance+5, 0.1, pose)
+	if cmd.Velocity.Dot(pose.Forward()) <= 0 {
+		t.Errorf("command %v does not close the distance", cmd.Velocity)
+	}
+	// Subject centered at the right distance: nearly zero command.
+	fc3 := NewFramingController()
+	cmd = fc3.Update(0, 0, fc3.DesiredDistance, 0.1, pose)
+	if cmd.Velocity.Norm() > 0.5 {
+		t.Errorf("centered subject should need little correction, got %v", cmd.Velocity)
+	}
+	// Velocity must respect the limit even for huge errors.
+	fc4 := NewFramingController()
+	cmd = fc4.Update(10000, 10000, 100, 0.1, pose)
+	if cmd.Velocity.Norm() > fc4.MaxVelocity+1e-9 {
+		t.Errorf("command %v exceeds the velocity limit", cmd.Velocity)
+	}
+}

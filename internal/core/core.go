@@ -1,0 +1,230 @@
+// Package core is the public framework of the MAVBench reproduction: the
+// workload registry, the run configuration ("knobs") and the runner that
+// assembles a closed-loop simulation for a workload, executes it and returns
+// its quality-of-flight report.
+//
+// The package mirrors how the original MAVBench is used: pick a workload,
+// pick the companion-computer operating point (cores × frequency), pick the
+// plug-and-play kernels (detector, localizer, planner), optionally enable the
+// case-study knobs (OctoMap resolution policy, sensor noise, cloud
+// offloading), run, and read the QoF metrics.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mavbench/internal/compute"
+	"mavbench/internal/env"
+	"mavbench/internal/geom"
+	"mavbench/internal/sim"
+	"mavbench/internal/telemetry"
+)
+
+// Params is the full knob set for one benchmark run.
+type Params struct {
+	// Workload selects the benchmark application (see Workloads()).
+	Workload string
+	// Cores and FreqGHz select the TX2 operating point.
+	Cores   int
+	FreqGHz float64
+	// Seed makes runs reproducible; it also seeds world generation.
+	Seed int64
+
+	// Plug-and-play kernels.
+	Detector  string // yolo | hog | haar
+	Localizer string // ground_truth | gps | orb_slam2
+	Planner   string // rrt | rrt_connect | prm
+
+	// OctomapResolution is the occupancy-map voxel size in meters
+	// (0 = the benchmark default of 0.15 m).
+	OctomapResolution float64
+	// DynamicResolution enables the energy case study's runtime that switches
+	// between OctomapResolution and CoarseResolution with obstacle density.
+	DynamicResolution bool
+	// CoarseResolution is the coarse setting of the dynamic policy
+	// (0 = 0.80 m).
+	CoarseResolution float64
+
+	// DepthNoiseStd enables the reliability case study's depth noise (m).
+	DepthNoiseStd float64
+
+	// CloudOffload offloads the planning-stage kernels to a cloud server over
+	// CloudLink (zero value = the paper's 1 Gb/s LAN).
+	CloudOffload bool
+	CloudLink    compute.CloudLink
+
+	// Environment overrides the workload's default world ("urban", "indoor",
+	// "farm", "disaster", "park", "empty"); empty string keeps the default.
+	Environment string
+	// WorldScale shrinks (<1) or grows (>1) the mission extent; tests use
+	// small scales to stay fast. 0 means 1.0.
+	WorldScale float64
+
+	// MaxMissionTimeS bounds the mission (0 = workload default).
+	MaxMissionTimeS float64
+	// KeepTraces enables power/phase time-series collection.
+	KeepTraces bool
+}
+
+// Normalize fills defaults.
+func (p Params) Normalize() Params {
+	if p.Cores <= 0 {
+		p.Cores = 4
+	}
+	if p.FreqGHz <= 0 {
+		p.FreqGHz = compute.TX2FreqHighGHz
+	}
+	if p.Detector == "" {
+		p.Detector = "yolo"
+	}
+	if p.Localizer == "" {
+		p.Localizer = "gps"
+	}
+	if p.Planner == "" {
+		p.Planner = "rrt_connect"
+	}
+	if p.OctomapResolution <= 0 {
+		p.OctomapResolution = 0.15
+	}
+	if p.CoarseResolution <= 0 {
+		p.CoarseResolution = 0.80
+	}
+	if p.WorldScale <= 0 {
+		p.WorldScale = 1.0
+	}
+	if p.CloudLink.BandwidthMbps == 0 {
+		p.CloudLink = compute.LAN1Gbps()
+	}
+	return p
+}
+
+// OperatingPoint returns the compute operating point of the run.
+func (p Params) OperatingPoint() compute.OperatingPoint {
+	return compute.OperatingPoint{Cores: p.Cores, FreqGHz: p.FreqGHz}
+}
+
+// Workload is a benchmark application. Implementations construct their
+// environment and wire their perception-planning-control node graph onto the
+// simulator; the runner owns everything else.
+type Workload interface {
+	// Name is the registry key ("scanning", "package_delivery", ...).
+	Name() string
+	// Description is a one-line human-readable summary.
+	Description() string
+	// World builds the workload's environment and returns the vehicle start
+	// position.
+	World(p Params) (*env.World, geom.Vec3, error)
+	// Setup wires the application onto the simulator.
+	Setup(s *sim.Simulator, p Params) error
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Workload{}
+)
+
+// Register adds a workload to the registry. It panics on duplicates so
+// mis-wired init() registration is caught immediately.
+func Register(w Workload) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if w == nil || w.Name() == "" {
+		panic("core: Register with nil or unnamed workload")
+	}
+	if _, dup := registry[w.Name()]; dup {
+		panic(fmt.Sprintf("core: workload %q registered twice", w.Name()))
+	}
+	registry[w.Name()] = w
+}
+
+// Lookup returns the named workload.
+func Lookup(name string) (Workload, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown workload %q (available: %v)", name, Workloads())
+	}
+	return w, nil
+}
+
+// Workloads returns the registered workload names, sorted.
+func Workloads() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Result couples a QoF report with the parameters that produced it.
+type Result struct {
+	Report telemetry.Report
+	Params Params
+	// PlatformName identifies the simulated companion computer.
+	PlatformName string
+}
+
+// Run executes one benchmark run described by p.
+func Run(p Params) (Result, error) {
+	p = p.Normalize()
+	w, err := Lookup(p.Workload)
+	if err != nil {
+		return Result{}, err
+	}
+	world, start, err := w.World(p)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: building world for %s: %w", p.Workload, err)
+	}
+
+	platform := compute.TX2(p.Cores, p.FreqGHz)
+	cfg := sim.DefaultConfig(p.Seed)
+	cfg.Platform = platform
+	cfg.DepthNoiseStd = p.DepthNoiseStd
+	cfg.KeepTraces = p.KeepTraces
+	if p.MaxMissionTimeS > 0 {
+		cfg.MaxMissionTimeS = p.MaxMissionTimeS
+	}
+	if p.CloudOffload {
+		remote := compute.NewCostModel(compute.CloudServer())
+		edge := compute.NewCostModel(platform)
+		cfg.Offload = compute.NewOffloader(edge, remote, p.CloudLink,
+			compute.KernelShortestPath, compute.KernelFrontierExplore, compute.KernelSmoothing)
+	}
+
+	s, err := sim.New(cfg, world, start)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := w.Setup(s, p); err != nil {
+		return Result{}, fmt.Errorf("core: setting up %s: %w", p.Workload, err)
+	}
+	report, err := s.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Report: report, Params: p, PlatformName: platform.Name}, nil
+}
+
+// RunSweep executes the same workload across a set of operating points,
+// returning results in the same order. This is the primitive behind the
+// paper's Figures 10-15 heat maps.
+func RunSweep(base Params, points []compute.OperatingPoint) ([]Result, error) {
+	results := make([]Result, 0, len(points))
+	for _, pt := range points {
+		p := base
+		p.Cores = pt.Cores
+		p.FreqGHz = pt.FreqGHz
+		r, err := Run(p)
+		if err != nil {
+			return results, fmt.Errorf("core: sweep point %v: %w", pt, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mavbench/internal/compute"
+	"mavbench/internal/des"
+	"mavbench/internal/env"
+	"mavbench/internal/geom"
+	"mavbench/internal/sim"
+)
+
+type fakeWorkload struct {
+	name     string
+	setupRan bool
+}
+
+func (f *fakeWorkload) Name() string        { return f.name }
+func (f *fakeWorkload) Description() string { return "fake workload for tests" }
+func (f *fakeWorkload) World(p Params) (*env.World, geom.Vec3, error) {
+	return env.BoundedEmptyWorld(40, 20, p.Seed), geom.V3(0, 0, 0), nil
+}
+func (f *fakeWorkload) Setup(s *sim.Simulator, p Params) error {
+	f.setupRan = true
+	s.Engine().Schedule(des.Seconds(1), "fake/finish", func(*des.Engine) {
+		s.CompleteMission(true, "")
+	})
+	return nil
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	p := Params{}.Normalize()
+	if p.Cores != 4 || p.FreqGHz != compute.TX2FreqHighGHz {
+		t.Errorf("default operating point = %d cores @ %v GHz", p.Cores, p.FreqGHz)
+	}
+	if p.Detector != "yolo" || p.Localizer != "gps" || p.Planner != "rrt_connect" {
+		t.Errorf("default kernels = %q %q %q", p.Detector, p.Localizer, p.Planner)
+	}
+	if p.OctomapResolution != 0.15 || p.CoarseResolution != 0.80 {
+		t.Errorf("default resolutions = %v / %v", p.OctomapResolution, p.CoarseResolution)
+	}
+	if p.WorldScale != 1.0 {
+		t.Errorf("default world scale = %v", p.WorldScale)
+	}
+	if p.CloudLink.BandwidthMbps <= 0 {
+		t.Error("default cloud link not filled")
+	}
+	op := p.OperatingPoint()
+	if op.Cores != 4 || op.FreqGHz != compute.TX2FreqHighGHz {
+		t.Errorf("OperatingPoint = %v", op)
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	fw := &fakeWorkload{name: "fake_test_workload"}
+	Register(fw)
+	defer func() {
+		registryMu.Lock()
+		delete(registry, fw.name)
+		registryMu.Unlock()
+	}()
+
+	got, err := Lookup(fw.name)
+	if err != nil || got != Workload(fw) {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	found := false
+	for _, n := range Workloads() {
+		if n == fw.name {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered workload missing from Workloads()")
+	}
+	if _, err := Lookup("not_registered"); err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Errorf("Lookup of unknown workload: %v", err)
+	}
+}
+
+func TestRegisterPanicsOnDuplicateAndNil(t *testing.T) {
+	fw := &fakeWorkload{name: "dup_workload"}
+	Register(fw)
+	defer func() {
+		registryMu.Lock()
+		delete(registry, fw.name)
+		registryMu.Unlock()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate registration should panic")
+			}
+		}()
+		Register(&fakeWorkload{name: "dup_workload"})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil workload should panic")
+			}
+		}()
+		Register(nil)
+	}()
+}
+
+func TestRunWithFakeWorkload(t *testing.T) {
+	fw := &fakeWorkload{name: "runner_test_workload"}
+	Register(fw)
+	defer func() {
+		registryMu.Lock()
+		delete(registry, fw.name)
+		registryMu.Unlock()
+	}()
+
+	res, err := Run(Params{Workload: fw.name, Seed: 3, MaxMissionTimeS: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fw.setupRan {
+		t.Error("Setup never ran")
+	}
+	if !res.Report.Success {
+		t.Errorf("report = %+v", res.Report)
+	}
+	if res.PlatformName == "" {
+		t.Error("platform name missing")
+	}
+	if res.Params.Workload != fw.name {
+		t.Error("params not echoed")
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := Run(Params{Workload: "definitely_missing"}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	fw := &fakeWorkload{name: "sweep_test_workload"}
+	Register(fw)
+	defer func() {
+		registryMu.Lock()
+		delete(registry, fw.name)
+		registryMu.Unlock()
+	}()
+
+	points := []compute.OperatingPoint{{Cores: 2, FreqGHz: 0.8}, {Cores: 4, FreqGHz: 2.2}}
+	results, err := RunSweep(Params{Workload: fw.name, Seed: 1, MaxMissionTimeS: 30}, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Params.Cores != points[i].Cores || r.Params.FreqGHz != points[i].FreqGHz {
+			t.Errorf("result %d has operating point %d/%v", i, r.Params.Cores, r.Params.FreqGHz)
+		}
+	}
+}
+
+func TestRunSweepPropagatesErrors(t *testing.T) {
+	if _, err := RunSweep(Params{Workload: "missing"}, compute.PaperOperatingPoints()[:1]); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestCloudOffloadConfiguration(t *testing.T) {
+	fw := &fakeWorkload{name: "offload_test_workload"}
+	Register(fw)
+	defer func() {
+		registryMu.Lock()
+		delete(registry, fw.name)
+		registryMu.Unlock()
+	}()
+	p := Params{Workload: fw.name, CloudOffload: true, MaxMissionTimeS: 30}
+	if _, err := Run(p); err != nil {
+		t.Fatal(err)
+	}
+}

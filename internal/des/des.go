@@ -1,0 +1,307 @@
+// Package des implements the discrete-event simulation engine that drives
+// every MAVBench run.
+//
+// The original MAVBench executes its benchmark applications in real time on a
+// hardware-in-the-loop NVIDIA TX2 while AirSim/Unreal simulate the vehicle on
+// a host PC. This reproduction replaces wall-clock time with a deterministic
+// virtual clock: everything that happens — physics integration steps, sensor
+// publications, compute-kernel executions, actuation commands, battery
+// updates — is an event on a single timeline. Compute cost is charged in
+// virtual time on a core-limited executor (see package ros), so core-count
+// and clock-frequency scaling studies are exact and runs are reproducible.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Event is a scheduled callback. The callback runs exactly once at its
+// scheduled virtual time, receiving the engine so it may schedule follow-up
+// events.
+type Event struct {
+	At       time.Duration // virtual time at which the event fires
+	Name     string        // label for tracing/debugging
+	Callback func(*Engine)
+
+	priority int // tie-break: lower fires first at equal time
+	seq      uint64
+	index    int
+	canceled bool
+}
+
+// Cancel marks the event so that it will be skipped when its time arrives.
+// Canceling an already-fired event has no effect.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether the event was canceled before firing.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	if q[i].priority != q[j].priority {
+		return q[i].priority < q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// ErrStopped is returned by Run when the simulation was stopped explicitly
+// via Stop before the horizon or event exhaustion was reached.
+var ErrStopped = errors.New("des: simulation stopped")
+
+// Engine is a single-threaded discrete-event scheduler with a virtual clock.
+// The zero value is not usable; construct engines with NewEngine.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	stopErr error
+
+	// Horizon, when non-zero, bounds Run: the engine refuses to advance the
+	// clock beyond it and Run returns once the next event would exceed it.
+	Horizon time.Duration
+
+	processed uint64
+	tracer    func(Event)
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// NowSeconds returns the current virtual time in seconds.
+func (e *Engine) NowSeconds() float64 { return e.now.Seconds() }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled (including
+// canceled events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// SetTracer installs a hook invoked for every event just before it runs.
+// Passing nil removes the tracer.
+func (e *Engine) SetTracer(fn func(Event)) { e.tracer = fn }
+
+// Schedule registers callback to run after delay (relative to the current
+// virtual time). Negative delays are treated as zero. It returns the event so
+// callers may cancel it.
+func (e *Engine) Schedule(delay time.Duration, name string, callback func(*Engine)) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, name, callback)
+}
+
+// ScheduleAt registers callback to run at absolute virtual time at. Times in
+// the past are clamped to the present.
+func (e *Engine) ScheduleAt(at time.Duration, name string, callback func(*Engine)) *Event {
+	return e.scheduleAt(at, 0, name, callback)
+}
+
+// SchedulePriority is ScheduleAt with an explicit tie-break priority: among
+// events with identical timestamps, lower priorities fire first. The physics
+// stepper uses a negative priority so that the world state is always updated
+// before same-instant sensor or compute events observe it.
+func (e *Engine) SchedulePriority(at time.Duration, priority int, name string, callback func(*Engine)) *Event {
+	return e.scheduleAt(at, priority, name, callback)
+}
+
+func (e *Engine) scheduleAt(at time.Duration, priority int, name string, callback func(*Engine)) *Event {
+	if callback == nil {
+		panic("des: Schedule with nil callback")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{At: at, Name: name, Callback: callback, priority: priority, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Every schedules callback to run periodically with the given period,
+// starting one period from now, until the returned ticker is stopped or the
+// engine stops. A period <= 0 panics.
+func (e *Engine) Every(period time.Duration, name string, callback func(*Engine)) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("des: Every with non-positive period %v", period))
+	}
+	t := &Ticker{engine: e, period: period, name: name, callback: callback}
+	t.scheduleNext()
+	return t
+}
+
+// Ticker repeatedly schedules a callback at a fixed period.
+type Ticker struct {
+	engine   *Engine
+	period   time.Duration
+	name     string
+	callback func(*Engine)
+	next     *Event
+	stopped  bool
+}
+
+// Stop prevents any further firings of the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.next != nil {
+		t.next.Cancel()
+	}
+}
+
+// Period returns the ticker's period.
+func (t *Ticker) Period() time.Duration { return t.period }
+
+func (t *Ticker) scheduleNext() {
+	if t.stopped {
+		return
+	}
+	t.next = t.engine.Schedule(t.period, t.name, func(eng *Engine) {
+		if t.stopped {
+			return
+		}
+		t.callback(eng)
+		t.scheduleNext()
+	})
+}
+
+// Stop halts the run loop after the current event completes. The given error
+// (which may be nil) is recorded and surfaced by Run as its return value; a
+// nil error is reported as ErrStopped.
+func (e *Engine) Stop(err error) {
+	e.stopped = true
+	e.stopErr = err
+}
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Step executes the single next pending event, advancing the clock to its
+// timestamp. It returns false when no runnable event remains or the engine
+// has been stopped.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return false
+		}
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if e.Horizon > 0 && ev.At > e.Horizon {
+			// Push it back so state remains inspectable, then refuse to run.
+			heap.Push(&e.queue, ev)
+			return false
+		}
+		e.now = ev.At
+		if e.tracer != nil {
+			e.tracer(*ev)
+		}
+		e.processed++
+		ev.Callback(e)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is exhausted, the horizon is exceeded,
+// the event budget maxEvents (0 = unlimited) is spent, or Stop is called.
+// It returns nil on normal completion, ErrStopped (or the error passed to
+// Stop) when stopped, and an error when the event budget is exhausted.
+func (e *Engine) Run(maxEvents uint64) error {
+	var n uint64
+	for {
+		if e.stopped {
+			if e.stopErr != nil {
+				return e.stopErr
+			}
+			return ErrStopped
+		}
+		if maxEvents > 0 && n >= maxEvents {
+			return fmt.Errorf("des: event budget of %d exhausted at t=%v", maxEvents, e.now)
+		}
+		if !e.Step() {
+			if e.stopped {
+				if e.stopErr != nil {
+					return e.stopErr
+				}
+				return ErrStopped
+			}
+			return nil
+		}
+		n++
+	}
+}
+
+// RunUntil runs the engine until the virtual clock reaches at least t, the
+// queue empties, or the engine stops. The horizon, if set, still applies.
+func (e *Engine) RunUntil(t time.Duration) error {
+	for e.now < t {
+		if e.stopped {
+			if e.stopErr != nil {
+				return e.stopErr
+			}
+			return ErrStopped
+		}
+		if len(e.queue) == 0 {
+			return nil
+		}
+		// Peek: if the next event is beyond t, we're done.
+		next := e.queue[0]
+		if next.At > t {
+			e.now = t
+			return nil
+		}
+		if !e.Step() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Seconds converts a floating-point number of seconds into a time.Duration,
+// saturating instead of overflowing for absurdly large values.
+func Seconds(s float64) time.Duration {
+	if math.IsInf(s, 1) || s > math.MaxInt64/float64(time.Second) {
+		return time.Duration(math.MaxInt64)
+	}
+	if s < 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}

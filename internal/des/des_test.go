@@ -1,0 +1,308 @@
+package des
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(3*time.Second, "c", func(*Engine) { order = append(order, "c") })
+	e.Schedule(1*time.Second, "a", func(*Engine) { order = append(order, "a") })
+	e.Schedule(2*time.Second, "b", func(*Engine) { order = append(order, "b") })
+
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed = %d, want 3", e.Processed())
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, "ev", func(*Engine) { order = append(order, i) })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("events at equal time not FIFO: %v", order)
+	}
+}
+
+func TestPriorityTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.SchedulePriority(time.Second, 5, "late", func(*Engine) { order = append(order, "late") })
+	e.SchedulePriority(time.Second, -5, "early", func(*Engine) { order = append(order, "early") })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Errorf("priority order = %v", order)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	e.Schedule(time.Second, "outer", func(eng *Engine) {
+		times = append(times, eng.Now())
+		eng.Schedule(500*time.Millisecond, "inner", func(eng *Engine) {
+			times = append(times, eng.Now())
+		})
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != time.Second || times[1] != 1500*time.Millisecond {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(time.Second, "x", func(*Engine) { fired = true })
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("canceled event fired")
+	}
+}
+
+func TestNegativeDelayClampedToNow(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(2*time.Second, "advance", func(eng *Engine) {
+		eng.Schedule(-5*time.Second, "past", func(eng *Engine) {
+			if eng.Now() != 2*time.Second {
+				t.Errorf("past event ran at %v, want clock unchanged at 2s", eng.Now())
+			}
+		})
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		i := i
+		e.Schedule(time.Duration(i)*time.Second, "tick", func(eng *Engine) {
+			count++
+			if i == 3 {
+				eng.Stop(nil)
+			}
+		})
+	}
+	err := e.Run(0)
+	if !errors.Is(err, ErrStopped) {
+		t.Errorf("Run = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	if !e.Stopped() {
+		t.Error("Stopped() = false")
+	}
+}
+
+func TestStopWithError(t *testing.T) {
+	e := NewEngine()
+	sentinel := errors.New("mission failed")
+	e.Schedule(time.Second, "fail", func(eng *Engine) { eng.Stop(sentinel) })
+	if err := e.Run(0); !errors.Is(err, sentinel) {
+		t.Errorf("Run = %v, want %v", err, sentinel)
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	e := NewEngine()
+	e.Horizon = 5 * time.Second
+	var fired []time.Duration
+	for i := 1; i <= 10; i++ {
+		d := time.Duration(i) * time.Second
+		e.Schedule(d, "tick", func(eng *Engine) { fired = append(fired, eng.Now()) })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 5 {
+		t.Errorf("fired %d events, want 5 (horizon)", len(fired))
+	}
+	if e.Now() > 5*time.Second {
+		t.Errorf("clock %v exceeded horizon", e.Now())
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	e := NewEngine()
+	// A self-perpetuating event chain.
+	var tick func(*Engine)
+	tick = func(eng *Engine) { eng.Schedule(time.Millisecond, "tick", tick) }
+	e.Schedule(time.Millisecond, "tick", tick)
+	if err := e.Run(100); err == nil {
+		t.Error("expected budget-exhausted error")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Every(time.Second, "tick", func(*Engine) { count++ })
+	if err := e.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	if e.Now() != 10*time.Second {
+		t.Errorf("Now = %v", e.Now())
+	}
+	// RunUntil with an empty-but-for-ticker queue continues correctly.
+	if err := e.RunUntil(12 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 12 {
+		t.Errorf("count after second RunUntil = %d, want 12", count)
+	}
+}
+
+func TestRunUntilAdvancesClockWithNoEventsBeforeTarget(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Hour, "far", func(*Engine) {})
+	if err := e.RunUntil(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != time.Minute {
+		t.Errorf("Now = %v, want 1m", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.Every(time.Second, "tick", func(*Engine) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	if tk.Period() != time.Second {
+		t.Errorf("Period = %v", tk.Period())
+	}
+	if err := e.RunUntil(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestEveryPanicsOnNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewEngine().Every(0, "bad", func(*Engine) {})
+}
+
+func TestScheduleNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewEngine().Schedule(time.Second, "bad", nil)
+}
+
+func TestTracer(t *testing.T) {
+	e := NewEngine()
+	var traced []string
+	e.SetTracer(func(ev Event) { traced = append(traced, ev.Name) })
+	e.Schedule(time.Second, "one", func(*Engine) {})
+	e.Schedule(2*time.Second, "two", func(*Engine) {})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != 2 || traced[0] != "one" || traced[1] != "two" {
+		t.Errorf("traced = %v", traced)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if Seconds(1.5) != 1500*time.Millisecond {
+		t.Errorf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if Seconds(-3) != 0 {
+		t.Errorf("Seconds(-3) = %v", Seconds(-3))
+	}
+	if Seconds(math.Inf(1)) != time.Duration(math.MaxInt64) {
+		t.Errorf("Seconds(inf) = %v", Seconds(math.Inf(1)))
+	}
+	if Seconds(1e300) != time.Duration(math.MaxInt64) {
+		t.Errorf("Seconds(huge) should saturate")
+	}
+}
+
+// Property: regardless of insertion order, events fire in non-decreasing time
+// order and the clock ends at the max scheduled time.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		if len(delaysMs) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []time.Duration
+		var maxAt time.Duration
+		for _, d := range delaysMs {
+			at := time.Duration(d) * time.Millisecond
+			if at > maxAt {
+				maxAt = at
+			}
+			e.Schedule(at, "ev", func(eng *Engine) { fired = append(fired, eng.Now()) })
+		}
+		if err := e.Run(0); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return e.Now() == maxAt && len(fired) == len(delaysMs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

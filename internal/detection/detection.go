@@ -1,0 +1,220 @@
+// Package detection provides the object-detection kernels of the MAVBench
+// perception stage.
+//
+// MAVBench ships the YOLO detector plus OpenCV's HOG and Haar people
+// detectors as plug-and-play alternatives for the Aerial Photography and
+// Search-and-Rescue workloads. The reproduction replaces the neural networks
+// and cascades with accuracy/latency emulations operating on the simulated
+// camera frames (package sensors): each detector has a recall curve that
+// falls off with target distance and apparent size, a false-positive rate,
+// and bounding-box jitter — the properties the closed-loop evaluation
+// actually exercises (did the drone see the person, how exact is the box it
+// tracks). Latency is charged separately by the compute cost model.
+package detection
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mavbench/internal/compute"
+	"mavbench/internal/sensors"
+)
+
+// Detection is one detected object.
+type Detection struct {
+	Box        sensors.BoundingBox
+	Confidence float64
+	Class      string
+}
+
+// Detector is an object-detection kernel emulation.
+type Detector interface {
+	// Name returns the detector's registry name.
+	Name() string
+	// KernelName returns the compute-kernel identifier used for cost
+	// accounting (a compute.Kernel* constant).
+	KernelName() string
+	// Detect returns the detections for one camera frame.
+	Detect(frame *sensors.Frame) []Detection
+}
+
+// Profile captures the accuracy characteristics of a detector emulation.
+type Profile struct {
+	Name   string
+	Kernel string
+	// BaseRecall is the detection probability for a large, close target.
+	BaseRecall float64
+	// RecallRangeM is the distance at which recall has fallen to roughly half
+	// of BaseRecall.
+	RecallRangeM float64
+	// MinBoxAreaPx is the smallest apparent size the detector can find.
+	MinBoxAreaPx float64
+	// FalsePositiveRate is the per-frame probability of hallucinating a
+	// detection.
+	FalsePositiveRate float64
+	// BoxJitterPx perturbs the reported box corners.
+	BoxJitterPx float64
+	// Classes lists the object labels the detector can recognise.
+	Classes []string
+}
+
+// Emulator implements Detector from a Profile.
+type Emulator struct {
+	profile Profile
+	rng     *rand.Rand
+
+	frames     uint64
+	detections uint64
+	misses     uint64
+}
+
+// Profiles for the three detectors the benchmark ships. Accuracy figures are
+// representative of the respective model families (YOLO > HOG > Haar on
+// aerial people detection).
+func yoloProfile() Profile {
+	return Profile{
+		Name: "yolo", Kernel: compute.KernelObjectDetectYOLO,
+		BaseRecall: 0.95, RecallRangeM: 35, MinBoxAreaPx: 150,
+		FalsePositiveRate: 0.01, BoxJitterPx: 3,
+		Classes: []string{"person", "subject", "survivor", "vehicle", "delivery_pad"},
+	}
+}
+
+func hogProfile() Profile {
+	return Profile{
+		Name: "hog", Kernel: compute.KernelObjectDetectHOG,
+		BaseRecall: 0.80, RecallRangeM: 22, MinBoxAreaPx: 400,
+		FalsePositiveRate: 0.04, BoxJitterPx: 8,
+		Classes: []string{"person", "subject", "survivor"},
+	}
+}
+
+func haarProfile() Profile {
+	return Profile{
+		Name: "haar", Kernel: compute.KernelObjectDetectHaar,
+		BaseRecall: 0.70, RecallRangeM: 18, MinBoxAreaPx: 600,
+		FalsePositiveRate: 0.08, BoxJitterPx: 12,
+		Classes: []string{"person", "subject", "survivor"},
+	}
+}
+
+// New constructs a detector by name ("yolo", "hog", "haar").
+func New(name string, seed int64) (*Emulator, error) {
+	var p Profile
+	switch name {
+	case "yolo", "":
+		p = yoloProfile()
+	case "hog":
+		p = hogProfile()
+	case "haar":
+		p = haarProfile()
+	default:
+		return nil, fmt.Errorf("detection: unknown detector %q", name)
+	}
+	return &Emulator{profile: p, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(name string, seed int64) *Emulator {
+	d, err := New(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name implements Detector.
+func (e *Emulator) Name() string { return e.profile.Name }
+
+// KernelName implements Detector.
+func (e *Emulator) KernelName() string { return e.profile.Kernel }
+
+// Frames returns how many frames have been processed.
+func (e *Emulator) Frames() uint64 { return e.frames }
+
+// Detections returns how many true detections have been produced.
+func (e *Emulator) Detections() uint64 { return e.detections }
+
+// Misses returns how many in-frame targets were not detected.
+func (e *Emulator) Misses() uint64 { return e.misses }
+
+// Recall returns the empirical recall so far.
+func (e *Emulator) Recall() float64 {
+	total := e.detections + e.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(e.detections) / float64(total)
+}
+
+func (e *Emulator) classifiable(label string) bool {
+	for _, c := range e.profile.Classes {
+		if c == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Detect implements Detector.
+func (e *Emulator) Detect(frame *sensors.Frame) []Detection {
+	e.frames++
+	var out []Detection
+	for _, obj := range frame.Objects {
+		if !e.classifiable(obj.Label) {
+			continue
+		}
+		if obj.Area() < e.profile.MinBoxAreaPx {
+			e.misses++
+			continue
+		}
+		// Recall decays with distance.
+		recall := e.profile.BaseRecall / (1 + (obj.Distance/e.profile.RecallRangeM)*(obj.Distance/e.profile.RecallRangeM))
+		if e.rng.Float64() > recall {
+			e.misses++
+			continue
+		}
+		box := obj
+		j := e.profile.BoxJitterPx
+		box.MinU += e.rng.NormFloat64() * j
+		box.MaxU += e.rng.NormFloat64() * j
+		box.MinV += e.rng.NormFloat64() * j
+		box.MaxV += e.rng.NormFloat64() * j
+		conf := 0.5 + 0.5*recall
+		out = append(out, Detection{Box: box, Confidence: conf, Class: obj.Label})
+		e.detections++
+	}
+	// False positives.
+	if e.rng.Float64() < e.profile.FalsePositiveRate {
+		w := float64(frame.Intrinsics.Width)
+		h := float64(frame.Intrinsics.Height)
+		u := e.rng.Float64() * w * 0.9
+		v := e.rng.Float64() * h * 0.9
+		out = append(out, Detection{
+			Box: sensors.BoundingBox{
+				MinU: u, MaxU: u + 20 + e.rng.Float64()*40,
+				MinV: v, MaxV: v + 30 + e.rng.Float64()*60,
+				Label:    "false_positive",
+				Distance: 5 + e.rng.Float64()*20,
+			},
+			Confidence: 0.3 + e.rng.Float64()*0.3,
+			Class:      e.profile.Classes[0],
+		})
+	}
+	return out
+}
+
+// BestDetection returns the highest-confidence detection matching the wanted
+// label (empty label matches anything), or false when none exists.
+func BestDetection(dets []Detection, label string) (Detection, bool) {
+	best := Detection{Confidence: -1}
+	for _, d := range dets {
+		if label != "" && d.Box.Label != label && d.Class != label {
+			continue
+		}
+		if d.Confidence > best.Confidence {
+			best = d
+		}
+	}
+	return best, best.Confidence >= 0
+}

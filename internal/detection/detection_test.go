@@ -1,0 +1,171 @@
+package detection
+
+import (
+	"testing"
+
+	"mavbench/internal/env"
+	"mavbench/internal/geom"
+	"mavbench/internal/sensors"
+)
+
+func frameWithPersonAt(dist float64) *sensors.Frame {
+	w := env.New("t", geom.NewAABB(geom.V3(-200, -200, 0), geom.V3(200, 200, 50)), 1)
+	w.AddObstacle(env.KindPerson, geom.BoxAt(geom.V3(dist, 0, 0.9), geom.V3(0.5, 0.5, 1.8)), "person")
+	cam := sensors.NewRGBCamera()
+	return cam.Capture(w, geom.NewPose(geom.V3(0, 0, 1.5), 0), 0)
+}
+
+func TestFactory(t *testing.T) {
+	for _, name := range []string{"", "yolo", "hog", "haar"} {
+		d, err := New(name, 1)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if d.Name() == "" || d.KernelName() == "" {
+			t.Errorf("empty identifiers for %q", name)
+		}
+	}
+	if _, err := New("resnet", 1); err == nil {
+		t.Error("unknown detector should fail")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustNew("bogus", 1)
+}
+
+func TestYOLODetectsClosePerson(t *testing.T) {
+	d := MustNew("yolo", 3)
+	frame := frameWithPersonAt(10)
+	if len(frame.Objects) == 0 {
+		t.Fatal("test frame has no visible person")
+	}
+	detections := 0
+	for i := 0; i < 100; i++ {
+		dets := d.Detect(frame)
+		if _, ok := BestDetection(dets, "person"); ok {
+			detections++
+		}
+	}
+	if detections < 80 {
+		t.Errorf("YOLO detected a close person only %d/100 times", detections)
+	}
+	if d.Frames() != 100 {
+		t.Errorf("Frames = %d", d.Frames())
+	}
+	if d.Recall() <= 0.5 {
+		t.Errorf("Recall = %v", d.Recall())
+	}
+}
+
+func TestRecallFallsWithDistance(t *testing.T) {
+	near := MustNew("yolo", 5)
+	far := MustNew("yolo", 5)
+	nearFrame := frameWithPersonAt(8)
+	farFrame := frameWithPersonAt(45)
+	if len(farFrame.Objects) == 0 {
+		t.Skip("far person outside RGB range in this configuration")
+	}
+	nearHits, farHits := 0, 0
+	for i := 0; i < 200; i++ {
+		if _, ok := BestDetection(near.Detect(nearFrame), "person"); ok {
+			nearHits++
+		}
+		if _, ok := BestDetection(far.Detect(farFrame), "person"); ok {
+			farHits++
+		}
+	}
+	if farHits >= nearHits {
+		t.Errorf("far-target recall (%d) should be below near-target recall (%d)", farHits, nearHits)
+	}
+}
+
+func TestDetectorQualityOrdering(t *testing.T) {
+	// YOLO should outperform HOG, which should outperform Haar, on the same
+	// mid-range frames.
+	frame := frameWithPersonAt(18)
+	rates := map[string]int{}
+	for _, name := range []string{"yolo", "hog", "haar"} {
+		d := MustNew(name, 9)
+		hits := 0
+		for i := 0; i < 300; i++ {
+			if _, ok := BestDetection(d.Detect(frame), "person"); ok {
+				hits++
+			}
+		}
+		rates[name] = hits
+	}
+	if !(rates["yolo"] >= rates["hog"] && rates["hog"] >= rates["haar"]) {
+		t.Errorf("detector quality ordering violated: %v", rates)
+	}
+}
+
+func TestMissesCountedWhenTargetTooSmall(t *testing.T) {
+	d := MustNew("haar", 1)
+	// A person 45 m away projects to a tiny box, below Haar's minimum area.
+	frame := frameWithPersonAt(45)
+	if len(frame.Objects) == 0 {
+		t.Skip("person not visible at this range")
+	}
+	d.Detect(frame)
+	if d.Misses() == 0 && d.Detections() == 0 {
+		t.Error("either a miss or a detection should have been recorded")
+	}
+}
+
+func TestFalsePositives(t *testing.T) {
+	d := MustNew("haar", 2)
+	empty := &sensors.Frame{Intrinsics: sensors.DefaultIntrinsics()}
+	fp := 0
+	for i := 0; i < 2000; i++ {
+		if len(d.Detect(empty)) > 0 {
+			fp++
+		}
+	}
+	if fp == 0 {
+		t.Error("haar emulation should occasionally hallucinate detections")
+	}
+	if fp > 500 {
+		t.Errorf("false positive rate too high: %d/2000", fp)
+	}
+}
+
+func TestIgnoresUnknownClasses(t *testing.T) {
+	d := MustNew("hog", 1)
+	frame := &sensors.Frame{Intrinsics: sensors.DefaultIntrinsics(), Objects: []sensors.BoundingBox{
+		{MinU: 100, MaxU: 200, MinV: 100, MaxV: 300, Label: "building", Distance: 10},
+	}}
+	dets := d.Detect(frame)
+	for _, det := range dets {
+		if det.Box.Label == "building" {
+			t.Error("HOG should not classify buildings")
+		}
+	}
+}
+
+func TestBestDetection(t *testing.T) {
+	dets := []Detection{
+		{Box: sensors.BoundingBox{Label: "person"}, Confidence: 0.4, Class: "person"},
+		{Box: sensors.BoundingBox{Label: "person"}, Confidence: 0.9, Class: "person"},
+		{Box: sensors.BoundingBox{Label: "vehicle"}, Confidence: 0.99, Class: "vehicle"},
+	}
+	best, ok := BestDetection(dets, "person")
+	if !ok || best.Confidence != 0.9 {
+		t.Errorf("best person = %+v ok=%v", best, ok)
+	}
+	any, ok := BestDetection(dets, "")
+	if !ok || any.Confidence != 0.99 {
+		t.Errorf("best any = %+v", any)
+	}
+	if _, ok := BestDetection(nil, "person"); ok {
+		t.Error("empty detections should report none")
+	}
+	if _, ok := BestDetection(dets, "dragon"); ok {
+		t.Error("unmatched label should report none")
+	}
+}

@@ -1,0 +1,143 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Battery implements the paper's coulomb-counting battery model: every update
+// converts the instantaneous power draw into a current using the terminal
+// voltage, integrates the charge drawn, and derives the terminal voltage from
+// the remaining state of charge using a LiPo-style discharge curve (Chen &
+// Rincon-Mora).
+type Battery struct {
+	// CapacityCoulombs is the full charge of the pack. A 5700 mAh Matrice 100
+	// pack holds 5.7 Ah * 3600 s = 20520 C.
+	CapacityCoulombs float64
+	// CellCount and per-cell voltage parameters define the pack voltage.
+	CellCount        int
+	CellFullVoltage  float64 // V at 100 % SoC
+	CellEmptyVoltage float64 // V at 0 % SoC
+
+	drawnCoulombs float64
+	energyJoules  float64
+}
+
+// NewMatrice100Battery returns the paper's DJI Matrice 100 TB47D-class pack:
+// 6S, 5700 mAh.
+func NewMatrice100Battery() *Battery {
+	return &Battery{
+		CapacityCoulombs: 5.7 * 3600,
+		CellCount:        6,
+		CellFullVoltage:  4.2,
+		CellEmptyVoltage: 3.3,
+	}
+}
+
+// NewBattery builds a pack from a capacity in mAh and a cell count.
+func NewBattery(capacityMAh float64, cells int) *Battery {
+	return &Battery{
+		CapacityCoulombs: capacityMAh / 1000 * 3600,
+		CellCount:        cells,
+		CellFullVoltage:  4.2,
+		CellEmptyVoltage: 3.3,
+	}
+}
+
+// Validate reports whether the battery parameters are usable.
+func (b *Battery) Validate() error {
+	if b.CapacityCoulombs <= 0 {
+		return fmt.Errorf("energy: non-positive battery capacity")
+	}
+	if b.CellCount <= 0 {
+		return fmt.Errorf("energy: non-positive cell count")
+	}
+	if b.CellFullVoltage <= b.CellEmptyVoltage {
+		return fmt.Errorf("energy: full-cell voltage must exceed empty-cell voltage")
+	}
+	return nil
+}
+
+// StateOfCharge returns the remaining charge fraction in [0, 1].
+func (b *Battery) StateOfCharge() float64 {
+	soc := 1 - b.drawnCoulombs/b.CapacityCoulombs
+	if soc < 0 {
+		return 0
+	}
+	if soc > 1 {
+		return 1
+	}
+	return soc
+}
+
+// RemainingPercent returns the state of charge as a percentage.
+func (b *Battery) RemainingPercent() float64 { return b.StateOfCharge() * 100 }
+
+// Depleted reports whether the pack has been fully drained.
+func (b *Battery) Depleted() bool { return b.StateOfCharge() <= 0 }
+
+// Voltage returns the pack terminal voltage as a function of state of charge.
+// The curve is the usual LiPo shape: a steep initial drop, a long plateau and
+// a steep final knee, approximated with an exponential + linear blend.
+func (b *Battery) Voltage() float64 {
+	soc := b.StateOfCharge()
+	span := b.CellFullVoltage - b.CellEmptyVoltage
+	// Blend: mostly linear with an exponential knee near empty.
+	cell := b.CellEmptyVoltage + span*(0.2+0.8*soc) - 0.2*span*math.Exp(-8*soc)
+	if cell < b.CellEmptyVoltage {
+		cell = b.CellEmptyVoltage
+	}
+	if cell > b.CellFullVoltage {
+		cell = b.CellFullVoltage
+	}
+	return cell * float64(b.CellCount)
+}
+
+// Drain integrates a constant power draw (watts) over dt seconds, performing
+// the coulomb count at the present terminal voltage. It returns the current
+// drawn in amperes.
+func (b *Battery) Drain(powerW, dt float64) float64 {
+	if powerW <= 0 || dt <= 0 {
+		return 0
+	}
+	v := b.Voltage()
+	if v <= 0 {
+		return 0
+	}
+	current := powerW / v
+	b.drawnCoulombs += current * dt
+	b.energyJoules += powerW * dt
+	return current
+}
+
+// EnergyConsumed returns the total energy drawn in joules.
+func (b *Battery) EnergyConsumed() float64 { return b.energyJoules }
+
+// EnergyConsumedKJ returns the total energy drawn in kilojoules, the unit the
+// paper's heat maps use.
+func (b *Battery) EnergyConsumedKJ() float64 { return b.energyJoules / 1000 }
+
+// CoulombsDrawn returns the integrated charge drawn from the pack.
+func (b *Battery) CoulombsDrawn() float64 { return b.drawnCoulombs }
+
+// TotalEnergyJ returns the pack's total usable energy estimated at nominal
+// voltage, used to derive endurance estimates.
+func (b *Battery) TotalEnergyJ() float64 {
+	nominalCell := (b.CellFullVoltage + b.CellEmptyVoltage) / 2
+	return b.CapacityCoulombs * nominalCell * float64(b.CellCount)
+}
+
+// EnduranceEstimate returns how long (seconds) the pack would last under a
+// constant power draw, ignoring voltage sag.
+func (b *Battery) EnduranceEstimate(powerW float64) float64 {
+	if powerW <= 0 {
+		return math.Inf(1)
+	}
+	return b.TotalEnergyJ() / powerW
+}
+
+// Reset restores the pack to full charge.
+func (b *Battery) Reset() {
+	b.drawnCoulombs = 0
+	b.energyJoules = 0
+}

@@ -1,0 +1,322 @@
+package env
+
+import (
+	"math"
+
+	"mavbench/internal/geom"
+)
+
+// UrbanConfig parameterises the procedural urban environment used by the
+// package-delivery workload: a grid of buildings with streets in between.
+type UrbanConfig struct {
+	Seed            int64
+	Width, Depth    float64 // world extents in meters
+	Height          float64 // ceiling of the playable volume
+	BuildingDensity float64 // 0..1 fraction of blocks that contain a building
+	BuildingMinSize float64
+	BuildingMaxSize float64
+	BuildingMaxH    float64
+	BlockPitch      float64 // distance between building-grid cells
+	DynamicCount    int     // number of moving obstacles (vehicles)
+	DynamicSpeed    float64 // m/s
+}
+
+// DefaultUrbanConfig returns the configuration used by the package-delivery
+// experiments: a 200 m x 200 m city block with moderate density.
+func DefaultUrbanConfig(seed int64) UrbanConfig {
+	return UrbanConfig{
+		Seed:            seed,
+		Width:           200,
+		Depth:           200,
+		Height:          60,
+		BuildingDensity: 0.35,
+		BuildingMinSize: 8,
+		BuildingMaxSize: 18,
+		BuildingMaxH:    35,
+		BlockPitch:      25,
+		DynamicCount:    6,
+		DynamicSpeed:    3,
+	}
+}
+
+// NewUrbanWorld builds a procedural city.
+func NewUrbanWorld(cfg UrbanConfig) *World {
+	bounds := geom.AABB{
+		Min: geom.V3(-cfg.Width/2, -cfg.Depth/2, 0),
+		Max: geom.V3(cfg.Width/2, cfg.Depth/2, cfg.Height),
+	}
+	w := New("urban", bounds, cfg.Seed)
+	rng := w.RNG()
+
+	if cfg.BlockPitch <= 0 {
+		cfg.BlockPitch = 25
+	}
+	for x := bounds.Min.X + cfg.BlockPitch/2; x < bounds.Max.X; x += cfg.BlockPitch {
+		for y := bounds.Min.Y + cfg.BlockPitch/2; y < bounds.Max.Y; y += cfg.BlockPitch {
+			if rng.Float64() > cfg.BuildingDensity {
+				continue
+			}
+			// Keep a clear corridor around the origin so missions always have
+			// a takeoff area.
+			if math.Abs(x) < cfg.BlockPitch && math.Abs(y) < cfg.BlockPitch {
+				continue
+			}
+			sx := cfg.BuildingMinSize + rng.Float64()*(cfg.BuildingMaxSize-cfg.BuildingMinSize)
+			sy := cfg.BuildingMinSize + rng.Float64()*(cfg.BuildingMaxSize-cfg.BuildingMinSize)
+			h := 8 + rng.Float64()*(cfg.BuildingMaxH-8)
+			center := geom.V3(x, y, h/2)
+			w.AddObstacle(KindStructure, geom.BoxAt(center, geom.V3(sx, sy, h)), "building")
+		}
+	}
+
+	for i := 0; i < cfg.DynamicCount; i++ {
+		a, okA := w.SampleFreePoint(2, 200)
+		b, okB := w.SampleFreePoint(2, 200)
+		if !okA || !okB {
+			break
+		}
+		a.Z, b.Z = 1.5, 1.5
+		box := geom.BoxAt(a, geom.V3(2.5, 2.5, 2.5))
+		w.AddDynamicObstacle(box, a, b, cfg.DynamicSpeed, "vehicle")
+	}
+	return w
+}
+
+// IndoorConfig parameterises the indoor environment (rooms separated by walls
+// with door openings) used by the OctoMap-resolution case study: the drone
+// must recognise doorways as passable openings.
+type IndoorConfig struct {
+	Seed         int64
+	Width, Depth float64
+	Height       float64
+	RoomPitch    float64 // spacing between interior walls
+	DoorWidth    float64 // width of each doorway opening (paper: ~0.82 m doors)
+	WallThick    float64
+	ClutterCount int // random boxes scattered inside rooms
+}
+
+// DefaultIndoorConfig returns the indoor world used by the dynamic-resolution
+// energy case study.
+func DefaultIndoorConfig(seed int64) IndoorConfig {
+	return IndoorConfig{
+		Seed:      seed,
+		Width:     60,
+		Depth:     60,
+		Height:    6,
+		RoomPitch: 15,
+		DoorWidth: 0.82,
+		WallThick: 0.3,
+		// Clutter makes the occupancy map denser and planning harder.
+		ClutterCount: 25,
+	}
+}
+
+// NewIndoorWorld builds a warehouse-like world: interior walls every
+// RoomPitch meters along X, each pierced by a door-width opening at a random
+// Y position.
+func NewIndoorWorld(cfg IndoorConfig) *World {
+	bounds := geom.AABB{
+		Min: geom.V3(0, 0, 0),
+		Max: geom.V3(cfg.Width, cfg.Depth, cfg.Height),
+	}
+	w := New("indoor", bounds, cfg.Seed)
+	rng := w.RNG()
+
+	if cfg.RoomPitch <= 0 {
+		cfg.RoomPitch = 15
+	}
+	for x := cfg.RoomPitch; x < cfg.Width-1; x += cfg.RoomPitch {
+		doorY := 2 + rng.Float64()*(cfg.Depth-4-cfg.DoorWidth)
+		// Wall below the door opening.
+		if doorY > 0.1 {
+			w.AddObstacle(KindStructure, geom.AABB{
+				Min: geom.V3(x-cfg.WallThick/2, 0, 0),
+				Max: geom.V3(x+cfg.WallThick/2, doorY, cfg.Height),
+			}, "wall")
+		}
+		// Wall above the door opening.
+		top := doorY + cfg.DoorWidth
+		if top < cfg.Depth-0.1 {
+			w.AddObstacle(KindStructure, geom.AABB{
+				Min: geom.V3(x-cfg.WallThick/2, top, 0),
+				Max: geom.V3(x+cfg.WallThick/2, cfg.Depth, cfg.Height),
+			}, "wall")
+		}
+	}
+
+	for i := 0; i < cfg.ClutterCount; i++ {
+		p, ok := w.SampleFreePoint(1.0, 200)
+		if !ok {
+			break
+		}
+		s := 0.5 + rng.Float64()*1.5
+		p.Z = s / 2
+		w.AddObstacle(KindStructure, geom.BoxAt(p, geom.V3(s, s, s)), "clutter")
+	}
+	return w
+}
+
+// DoorwayCenters returns the mid-points of the doorway openings of an indoor
+// world (identified as gaps between consecutive wall obstacles that share an
+// X plane). Used by tests and by the Figure 17 experiment.
+func DoorwayCenters(w *World) []geom.Vec3 {
+	type wallPair struct{ lowTop, highBot float64 }
+	byX := map[float64]*wallPair{}
+	for _, o := range w.obstacles {
+		if o.Label != "wall" {
+			continue
+		}
+		x := math.Round(o.Box.Center().X*100) / 100
+		wp, ok := byX[x]
+		if !ok {
+			wp = &wallPair{lowTop: math.Inf(-1), highBot: math.Inf(1)}
+			byX[x] = wp
+		}
+		if o.Box.Min.Y <= 0.2 { // wall starting at the south edge: below the door
+			wp.lowTop = math.Max(wp.lowTop, o.Box.Max.Y)
+		} else { // wall reaching the north edge: above the door
+			wp.highBot = math.Min(wp.highBot, o.Box.Min.Y)
+		}
+	}
+	var centers []geom.Vec3
+	for x, wp := range byX {
+		if math.IsInf(wp.lowTop, -1) || math.IsInf(wp.highBot, 1) {
+			continue
+		}
+		centers = append(centers, geom.V3(x, (wp.lowTop+wp.highBot)/2, 1.5))
+	}
+	return centers
+}
+
+// FarmConfig parameterises the open farm field used by the scanning
+// workload: mostly free space with sparse tall obstacles (trees, silos).
+type FarmConfig struct {
+	Seed          int64
+	Width, Depth  float64
+	Height        float64
+	ObstacleCount int
+}
+
+// DefaultFarmConfig returns the scanning workload's survey area.
+func DefaultFarmConfig(seed int64) FarmConfig {
+	return FarmConfig{Seed: seed, Width: 220, Depth: 200, Height: 40, ObstacleCount: 8}
+}
+
+// NewFarmWorld builds a mostly-empty field with a handful of tall obstacles
+// near its edges.
+func NewFarmWorld(cfg FarmConfig) *World {
+	bounds := geom.AABB{
+		Min: geom.V3(-cfg.Width/2, -cfg.Depth/2, 0),
+		Max: geom.V3(cfg.Width/2, cfg.Depth/2, cfg.Height),
+	}
+	w := New("farm", bounds, cfg.Seed)
+	rng := w.RNG()
+	for i := 0; i < cfg.ObstacleCount; i++ {
+		// Keep obstacles near the field boundary so the lawnmower path at
+		// altitude stays clear, as the paper assumes for agricultural scans.
+		x := bounds.Min.X + 5 + rng.Float64()*10
+		if rng.Float64() < 0.5 {
+			x = bounds.Max.X - 5 - rng.Float64()*10
+		}
+		y := bounds.Min.Y + rng.Float64()*cfg.Depth
+		h := 5 + rng.Float64()*10
+		w.AddObstacle(KindStructure, geom.BoxAt(geom.V3(x, y, h/2), geom.V3(3, 3, h)), "tree")
+	}
+	return w
+}
+
+// DisasterConfig parameterises the collapsed-building world of the
+// search-and-rescue workload: dense rubble with survivors hidden among it.
+type DisasterConfig struct {
+	Seed          int64
+	Width, Depth  float64
+	Height        float64
+	RubbleDensity float64 // boxes per 100 m^2
+	SurvivorCount int
+}
+
+// DefaultDisasterConfig returns the search-and-rescue world.
+func DefaultDisasterConfig(seed int64) DisasterConfig {
+	return DisasterConfig{Seed: seed, Width: 80, Depth: 80, Height: 20, RubbleDensity: 1.2, SurvivorCount: 1}
+}
+
+// NewDisasterWorld builds a rubble field with survivor targets.
+func NewDisasterWorld(cfg DisasterConfig) *World {
+	bounds := geom.AABB{
+		Min: geom.V3(0, 0, 0),
+		Max: geom.V3(cfg.Width, cfg.Depth, cfg.Height),
+	}
+	w := New("disaster", bounds, cfg.Seed)
+	rng := w.RNG()
+	count := int(cfg.RubbleDensity * cfg.Width * cfg.Depth / 100)
+	for i := 0; i < count; i++ {
+		x := 3 + rng.Float64()*(cfg.Width-6)
+		y := 3 + rng.Float64()*(cfg.Depth-6)
+		// Keep the start corner clear.
+		if x < 10 && y < 10 {
+			continue
+		}
+		sx := 1 + rng.Float64()*5
+		sy := 1 + rng.Float64()*5
+		h := 0.5 + rng.Float64()*4
+		w.AddObstacle(KindStructure, geom.BoxAt(geom.V3(x, y, h/2), geom.V3(sx, sy, h)), "rubble")
+	}
+	for i := 0; i < cfg.SurvivorCount; i++ {
+		x := cfg.Width/2 + rng.Float64()*(cfg.Width/2-6)
+		y := cfg.Depth/2 + rng.Float64()*(cfg.Depth/2-6)
+		w.AddObstacle(KindPerson, geom.BoxAt(geom.V3(x, y, 0.5), geom.V3(0.6, 0.6, 1.0)), "survivor")
+	}
+	return w
+}
+
+// PhotographyConfig parameterises the aerial-photography world: an open park
+// with a person walking a patrol route that the MAV must keep in frame.
+type PhotographyConfig struct {
+	Seed         int64
+	Width, Depth float64
+	Height       float64
+	SubjectSpeed float64 // walking speed of the subject, m/s
+	PatrolLength float64
+	TreeCount    int
+}
+
+// DefaultPhotographyConfig returns the aerial-photography world.
+func DefaultPhotographyConfig(seed int64) PhotographyConfig {
+	return PhotographyConfig{Seed: seed, Width: 120, Depth: 120, Height: 40, SubjectSpeed: 1.5, PatrolLength: 60, TreeCount: 10}
+}
+
+// NewPhotographyWorld builds the park world and returns it along with the
+// moving subject obstacle.
+func NewPhotographyWorld(cfg PhotographyConfig) (*World, *Obstacle) {
+	bounds := geom.AABB{
+		Min: geom.V3(-cfg.Width/2, -cfg.Depth/2, 0),
+		Max: geom.V3(cfg.Width/2, cfg.Depth/2, cfg.Height),
+	}
+	w := New("park", bounds, cfg.Seed)
+	rng := w.RNG()
+	for i := 0; i < cfg.TreeCount; i++ {
+		p, ok := w.SampleFreePoint(2, 100)
+		if !ok {
+			break
+		}
+		h := 4 + rng.Float64()*6
+		p.Z = h / 2
+		// Keep trees away from the subject's patrol line along the X axis.
+		if math.Abs(p.Y) < 6 {
+			p.Y += 12
+		}
+		w.AddObstacle(KindStructure, geom.BoxAt(p, geom.V3(2, 2, h)), "tree")
+	}
+	a := geom.V3(-cfg.PatrolLength/2, 0, 0.9)
+	b := geom.V3(cfg.PatrolLength/2, 0, 0.9)
+	subject := w.AddDynamicObstacle(geom.BoxAt(a, geom.V3(0.5, 0.5, 1.8)), a, b, cfg.SubjectSpeed, "subject")
+	subject.Kind = KindPerson
+	return w, subject
+}
+
+// BoundedEmptyWorld returns an obstacle-free world, handy for unit tests and
+// for micro-benchmarks such as the SLAM-FPS study that flies a fixed circle.
+func BoundedEmptyWorld(half float64, height float64, seed int64) *World {
+	bounds := geom.AABB{Min: geom.V3(-half, -half, 0), Max: geom.V3(half, half, height)}
+	return New("empty", bounds, seed)
+}

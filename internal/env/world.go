@@ -1,0 +1,297 @@
+// Package env provides the simulated 3-D environments the MAV flies in.
+//
+// The original MAVBench obtains its environments from the Unreal Engine
+// (urban maps, indoor spaces, farms, disaster sites) and adds programmable
+// knobs for static obstacle density and dynamic obstacle speed. This package
+// replaces rendered environments with procedurally generated geometric
+// worlds: collections of axis-aligned boxes and moving obstacles, plus
+// semantic target objects (people to find, delivery pads, subjects to film).
+// The evaluation only ever consumes geometry — depth images via ray casting,
+// collision queries, openings to plan through — so the substitution preserves
+// the behaviour that matters while staying deterministic and dependency-free.
+package env
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mavbench/internal/geom"
+)
+
+// ObstacleKind categorises obstacles for reporting and for target queries.
+type ObstacleKind int
+
+const (
+	// KindStructure is a generic static structure (building, wall, tree trunk).
+	KindStructure ObstacleKind = iota
+	// KindDynamic is a moving obstacle (vehicle, another aerial agent).
+	KindDynamic
+	// KindPerson is a human target (search-and-rescue victim, photography subject).
+	KindPerson
+	// KindDeliveryPad is a package-delivery destination marker.
+	KindDeliveryPad
+)
+
+// String implements fmt.Stringer.
+func (k ObstacleKind) String() string {
+	switch k {
+	case KindStructure:
+		return "structure"
+	case KindDynamic:
+		return "dynamic"
+	case KindPerson:
+		return "person"
+	case KindDeliveryPad:
+		return "delivery_pad"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Obstacle is a box-shaped object in the world. Dynamic obstacles carry a
+// velocity and patrol between two waypoints.
+type Obstacle struct {
+	ID    int
+	Kind  ObstacleKind
+	Box   geom.AABB
+	Label string
+
+	// Dynamic motion: the obstacle oscillates between PatrolA and PatrolB at
+	// Speed m/s. Zero speed means static.
+	Speed   float64
+	PatrolA geom.Vec3
+	PatrolB geom.Vec3
+	phase   float64 // position along the patrol in [0, 2), 0..1 = A->B, 1..2 = B->A
+}
+
+// Center returns the obstacle's current center.
+func (o *Obstacle) Center() geom.Vec3 { return o.Box.Center() }
+
+// IsDynamic reports whether the obstacle moves.
+func (o *Obstacle) IsDynamic() bool { return o.Speed > 0 }
+
+// World is a bounded 3-D environment.
+type World struct {
+	Name   string
+	Bounds geom.AABB
+	// GroundZ is the altitude of the ground plane; everything below it is
+	// considered occupied.
+	GroundZ float64
+
+	obstacles []*Obstacle
+	nextID    int
+	rng       *rand.Rand
+	elapsed   float64
+}
+
+// New creates an empty world with the given bounds.
+func New(name string, bounds geom.AABB, seed int64) *World {
+	return &World{
+		Name:    name,
+		Bounds:  bounds,
+		GroundZ: bounds.Min.Z,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AddObstacle inserts a static obstacle and returns it.
+func (w *World) AddObstacle(kind ObstacleKind, box geom.AABB, label string) *Obstacle {
+	o := &Obstacle{ID: w.nextID, Kind: kind, Box: box, Label: label}
+	w.nextID++
+	w.obstacles = append(w.obstacles, o)
+	return o
+}
+
+// AddDynamicObstacle inserts an obstacle that patrols between a and b at the
+// given speed.
+func (w *World) AddDynamicObstacle(box geom.AABB, a, b geom.Vec3, speed float64, label string) *Obstacle {
+	o := w.AddObstacle(KindDynamic, box, label)
+	o.Speed = speed
+	o.PatrolA = a
+	o.PatrolB = b
+	return o
+}
+
+// Obstacles returns all obstacles (callers must not mutate the slice).
+func (w *World) Obstacles() []*Obstacle { return w.obstacles }
+
+// ObstaclesOfKind returns all obstacles of the given kind.
+func (w *World) ObstaclesOfKind(kind ObstacleKind) []*Obstacle {
+	var out []*Obstacle
+	for _, o := range w.obstacles {
+		if o.Kind == kind {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// ObstacleCount returns the number of obstacles.
+func (w *World) ObstacleCount() int { return len(w.obstacles) }
+
+// Elapsed returns the simulated world time in seconds (advanced by Step).
+func (w *World) Elapsed() float64 { return w.elapsed }
+
+// Step advances dynamic obstacles by dt seconds.
+func (w *World) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	w.elapsed += dt
+	for _, o := range w.obstacles {
+		if !o.IsDynamic() {
+			continue
+		}
+		span := o.PatrolA.Dist(o.PatrolB)
+		if span == 0 {
+			continue
+		}
+		o.phase += o.Speed * dt / span
+		for o.phase >= 2 {
+			o.phase -= 2
+		}
+		t := o.phase
+		if t > 1 {
+			t = 2 - t // coming back
+		}
+		target := o.PatrolA.Lerp(o.PatrolB, t)
+		o.Box = geom.BoxAt(target, o.Box.Size())
+	}
+}
+
+// Occupied reports whether the point collides with the ground, the world
+// boundary or any obstacle, after inflating obstacles by radius (the MAV's
+// bounding-sphere radius).
+func (w *World) Occupied(p geom.Vec3, radius float64) bool {
+	if p.Z-radius < w.GroundZ {
+		return true
+	}
+	if !w.Bounds.Expand(-radius).Contains(p) {
+		return true
+	}
+	for _, o := range w.obstacles {
+		if o.Box.Expand(radius).Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// SegmentCollides reports whether the straight segment from a to b, swept by
+// a sphere of the given radius, collides with the ground or any obstacle.
+func (w *World) SegmentCollides(a, b geom.Vec3, radius float64) bool {
+	if math.Min(a.Z, b.Z)-radius < w.GroundZ {
+		return true
+	}
+	seg := geom.Segment{A: a, B: b}
+	for _, o := range w.obstacles {
+		if seg.IntersectsAABB(o.Box, radius) {
+			return true
+		}
+	}
+	return false
+}
+
+// RayCast returns the distance from origin along dir (which need not be
+// normalized) to the first obstacle or ground hit, up to maxRange. The
+// boolean reports whether anything was hit within range.
+func (w *World) RayCast(origin, dir geom.Vec3, maxRange float64) (float64, bool) {
+	d := dir.Unit()
+	if d.IsZero() || maxRange <= 0 {
+		return 0, false
+	}
+	best := math.Inf(1)
+	ray := geom.Ray{Origin: origin, Dir: d}
+	for _, o := range w.obstacles {
+		if t, ok := ray.IntersectAABB(o.Box); ok && t < best {
+			best = t
+		}
+	}
+	// Ground plane.
+	if d.Z < 0 {
+		t := (w.GroundZ - origin.Z) / d.Z
+		if t >= 0 && t < best {
+			best = t
+		}
+	}
+	if best > maxRange {
+		return 0, false
+	}
+	return best, true
+}
+
+// NearestObstacleDistance returns the distance from p to the closest obstacle
+// surface (0 when p is inside an obstacle) and the obstacle itself. The
+// ground plane is not considered. Returns +Inf and nil for an empty world.
+func (w *World) NearestObstacleDistance(p geom.Vec3) (float64, *Obstacle) {
+	best := math.Inf(1)
+	var bestObs *Obstacle
+	for _, o := range w.obstacles {
+		if d := o.Box.DistanceTo(p); d < best {
+			best = d
+			bestObs = o
+		}
+	}
+	return best, bestObs
+}
+
+// Targets returns obstacles of semantic kinds (person, delivery pad) sorted
+// by ID, used by detection and mission logic.
+func (w *World) Targets() []*Obstacle {
+	var out []*Obstacle
+	for _, o := range w.obstacles {
+		if o.Kind == KindPerson || o.Kind == KindDeliveryPad {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FreeVolumeFraction estimates the fraction of the world volume not occupied
+// by obstacles, by Monte-Carlo sampling; used as a difficulty metric and in
+// tests.
+func (w *World) FreeVolumeFraction(samples int) float64 {
+	if samples <= 0 {
+		samples = 1000
+	}
+	free := 0
+	for i := 0; i < samples; i++ {
+		p := w.SamplePoint()
+		if !w.Occupied(p, 0) {
+			free++
+		}
+	}
+	return float64(free) / float64(samples)
+}
+
+// SamplePoint returns a uniformly random point inside the world bounds.
+func (w *World) SamplePoint() geom.Vec3 {
+	s := w.Bounds.Size()
+	return geom.Vec3{
+		X: w.Bounds.Min.X + w.rng.Float64()*s.X,
+		Y: w.Bounds.Min.Y + w.rng.Float64()*s.Y,
+		Z: w.Bounds.Min.Z + w.rng.Float64()*s.Z,
+	}
+}
+
+// SampleFreePoint returns a random point not occupied (with the given
+// clearance radius), or false after maxTries failures.
+func (w *World) SampleFreePoint(radius float64, maxTries int) (geom.Vec3, bool) {
+	if maxTries <= 0 {
+		maxTries = 100
+	}
+	for i := 0; i < maxTries; i++ {
+		p := w.SamplePoint()
+		if !w.Occupied(p, radius) {
+			return p, true
+		}
+	}
+	return geom.Vec3{}, false
+}
+
+// RNG exposes the world's seeded random source so generators stay
+// deterministic per seed.
+func (w *World) RNG() *rand.Rand { return w.rng }

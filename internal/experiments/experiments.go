@@ -1,0 +1,120 @@
+// Package experiments regenerates every table and figure of the MAVBench
+// paper's evaluation (Sections V and VI) on top of the reproduction's
+// closed-loop simulator.
+//
+// Each experiment is a function returning structured rows plus a formatted
+// table; the cmd/mavbench-experiments binary prints them all, and the
+// repository-level benchmarks (bench_test.go) expose one testing.B benchmark
+// per table/figure. Experiments accept a Scale so that unit tests can run a
+// reduced version while the benchmark harness runs the full configuration.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mavbench/internal/compute"
+	"mavbench/internal/core"
+	// Importing the workloads registers them with the core framework.
+	_ "mavbench/internal/workloads"
+)
+
+// Scale controls how big the closed-loop experiments are.
+type Scale struct {
+	// WorldScale shrinks the environments (1.0 = paper-sized).
+	WorldScale float64
+	// MaxMissionTimeS bounds each mission.
+	MaxMissionTimeS float64
+	// Repeats is the number of runs per configuration where the paper
+	// averages over several runs (Table II failure rates).
+	Repeats int
+	// OperatingPoints are the compute operating points swept for the heat
+	// maps.
+	OperatingPoints []compute.OperatingPoint
+}
+
+// QuickScale is a reduced configuration for unit tests: small worlds, few
+// operating points, single repeats.
+func QuickScale() Scale {
+	return Scale{
+		WorldScale:      0.3,
+		MaxMissionTimeS: 300,
+		Repeats:         1,
+		OperatingPoints: []compute.OperatingPoint{
+			{Cores: 2, FreqGHz: compute.TX2FreqLowGHz},
+			{Cores: 4, FreqGHz: compute.TX2FreqHighGHz},
+		},
+	}
+}
+
+// FullScale is the configuration used by the benchmark harness: the full
+// 3x3 operating-point grid of the paper, moderately sized worlds (the paper's
+// environments, scaled to keep simulated ray casting affordable) and multiple
+// repeats for the statistical experiments.
+func FullScale() Scale {
+	return Scale{
+		WorldScale:      0.45,
+		MaxMissionTimeS: 900,
+		Repeats:         3,
+		OperatingPoints: compute.PaperOperatingPoints(),
+	}
+}
+
+// baseParams returns the common workload parameters for a closed-loop
+// experiment run.
+func (sc Scale) baseParams(workload string, seed int64) core.Params {
+	return core.Params{
+		Workload:        workload,
+		Seed:            seed,
+		Localizer:       "ground_truth",
+		Planner:         "rrt_connect",
+		WorldScale:      sc.WorldScale,
+		MaxMissionTimeS: sc.MaxMissionTimeS,
+	}
+}
+
+// Table is a generic formatted result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

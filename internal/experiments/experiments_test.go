@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mavbench/internal/compute"
+	"mavbench/internal/core"
+)
+
+func tinyScale() Scale {
+	return Scale{
+		WorldScale:      0.3,
+		MaxMissionTimeS: 240,
+		Repeats:         1,
+		OperatingPoints: []compute.OperatingPoint{{Cores: 4, FreqGHz: compute.TX2FreqHighGHz}},
+	}
+}
+
+func TestScalePresets(t *testing.T) {
+	q := QuickScale()
+	f := FullScale()
+	if len(q.OperatingPoints) >= len(f.OperatingPoints) {
+		t.Error("quick scale should sweep fewer operating points than full scale")
+	}
+	if len(f.OperatingPoints) != 9 {
+		t.Errorf("full scale should use the paper's 9 operating points, got %d", len(f.OperatingPoints))
+	}
+	if q.WorldScale <= 0 || f.WorldScale <= 0 {
+		t.Error("non-positive world scales")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := Table{
+		Title:   "demo",
+		Columns: []string{"a", "long_column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   "a note",
+	}
+	s := tbl.String()
+	for _, want := range []string{"demo", "long_column", "333", "a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	rows, tbl := Fig2()
+	if len(rows) < 8 || len(tbl.Rows) != len(rows) {
+		t.Fatalf("Fig2 rows = %d", len(rows))
+	}
+}
+
+func TestFig8aShape(t *testing.T) {
+	rows, tbl := Fig8a()
+	if len(rows) == 0 || len(tbl.Rows) != len(rows) {
+		t.Fatal("empty Fig8a")
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if first.ProcessTimeS != 0 || last.ProcessTimeS < 3.9 {
+		t.Errorf("process-time range wrong: %v .. %v", first.ProcessTimeS, last.ProcessTimeS)
+	}
+	// Paper values: ~8.83 m/s at 0 s, ~1.57 m/s at 4 s.
+	if first.MaxVelocity < 8 || first.MaxVelocity > 10 {
+		t.Errorf("v(0) = %v", first.MaxVelocity)
+	}
+	if last.MaxVelocity < 1 || last.MaxVelocity > 2.5 {
+		t.Errorf("v(4) = %v", last.MaxVelocity)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MaxVelocity > rows[i-1].MaxVelocity {
+			t.Fatal("max velocity must fall monotonically with process time")
+		}
+	}
+}
+
+func TestFig8bShape(t *testing.T) {
+	rows, _ := Fig8b()
+	if len(rows) < 4 {
+		t.Fatal("too few Fig8b rows")
+	}
+	// Velocity grows with FPS, energy falls.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MaxVelocity < rows[i-1].MaxVelocity {
+			t.Error("velocity should not fall as FPS grows")
+		}
+		if rows[i].EnergyKJ > rows[i-1].EnergyKJ {
+			t.Error("energy should not grow as FPS grows")
+		}
+	}
+	// Paper: ~5X faster processing -> close to 4X less energy. Compare 1 FPS
+	// with 6 FPS (velocity saturates at the airframe limit beyond that).
+	ratio := rows[0].EnergyKJ / rows[4].EnergyKJ
+	if ratio < 2 || ratio > 8 {
+		t.Errorf("energy reduction from 1 to 6 FPS = %.1fX, want within [2, 8]", ratio)
+	}
+}
+
+func TestFig9a(t *testing.T) {
+	b, tbl := Fig9a()
+	if b.ComputeShare() >= 0.05 {
+		t.Errorf("compute share = %v", b.ComputeShare())
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig9b(t *testing.T) {
+	rows, _ := Fig9b()
+	if len(rows) == 0 {
+		t.Fatal("no Fig9b rows")
+	}
+	// The flying phase must draw more power at 10 m/s than at 5 m/s, and all
+	// airborne phases must be in the hundreds of watts.
+	var fly5, fly10 float64
+	for _, r := range rows {
+		if r.Phase == "flying" {
+			if r.VelocityMPS == 5 {
+				fly5 = r.MeanPowerW
+			} else if r.VelocityMPS == 10 {
+				fly10 = r.MeanPowerW
+			}
+		}
+		if r.Phase == "flying" || r.Phase == "hovering" {
+			if r.MeanPowerW < 150 || r.MeanPowerW > 900 {
+				t.Errorf("%s at %v m/s draws %v W", r.Phase, r.VelocityMPS, r.MeanPowerW)
+			}
+		}
+	}
+	if fly5 == 0 || fly10 == 0 {
+		t.Fatalf("missing flying phases: %+v", rows)
+	}
+	if fly10 <= fly5 {
+		t.Errorf("flying at 10 m/s (%v W) should draw more than at 5 m/s (%v W)", fly10, fly5)
+	}
+}
+
+func TestFig17DoorwayPerception(t *testing.T) {
+	rows, _ := Fig17()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byRes := map[float64]Fig17Row{}
+	for _, r := range rows {
+		byRes[r.ResolutionM] = r
+	}
+	if !byRes[0.15].DoorwayPassable {
+		t.Error("doorway should be passable at 0.15 m resolution")
+	}
+	if byRes[0.8].DoorwayPassable {
+		t.Error("doorway should disappear at 0.80 m resolution")
+	}
+	if byRes[0.8].OccupiedLeaves >= byRes[0.15].OccupiedLeaves {
+		t.Error("coarser maps should have fewer leaves")
+	}
+}
+
+func TestFig18ResolutionTradeoff(t *testing.T) {
+	rows, _ := Fig18()
+	if len(rows) < 5 {
+		t.Fatal("too few Fig18 rows")
+	}
+	first := rows[0]
+	last := rows[len(rows)-1]
+	if first.ResolutionM >= last.ResolutionM {
+		t.Fatal("rows should go from fine to coarse")
+	}
+	if last.ModelTimeS >= first.ModelTimeS {
+		t.Error("model time should fall with coarser resolution")
+	}
+	ratio := first.ModelTimeS / last.ModelTimeS
+	if ratio < 3 || ratio > 6 {
+		t.Errorf("fine/coarse model-time ratio = %.1f, want ~4.5", ratio)
+	}
+	if last.LeafCount >= first.LeafCount {
+		t.Error("coarser maps should have fewer leaves")
+	}
+}
+
+func TestWorkloadSweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop sweep is slow")
+	}
+	sc := tinyScale()
+	cells, raw, err := WorkloadSweep(sc, "scanning", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(sc.OperatingPoints) || len(raw) != len(cells) {
+		t.Fatalf("cells = %d raw = %d", len(cells), len(raw))
+	}
+	for _, c := range cells {
+		if !c.Success {
+			t.Errorf("scanning failed at %d cores / %.1f GHz", c.Cores, c.FreqGHz)
+		}
+		if c.EnergyKJ <= 0 || c.MissionTimeS <= 0 {
+			t.Errorf("bad cell: %+v", c)
+		}
+	}
+	sum := Summarize("scanning", cells)
+	if sum.MissionTimeSpeedup < 0.5 {
+		t.Errorf("summary = %+v", sum)
+	}
+	// Figure 15 built from the same sweep results.
+	rows, tbl := Fig15(map[string][]core.Result{"scanning": raw})
+	if len(rows) == 0 || len(tbl.Rows) != len(rows) {
+		t.Fatalf("Fig15 rows = %d", len(rows))
+	}
+}
+
+func TestTable2QuickSingleLevel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop runs are slow")
+	}
+	sc := tinyScale()
+	rows, tbl, err := Table2(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mavbench/internal/compute"
+	"mavbench/internal/core"
+)
+
+// HeatMapCell is one cell of the Figures 10-14 heat maps: the quality-of-
+// flight metrics of one workload at one compute operating point.
+type HeatMapCell struct {
+	Workload     string
+	Cores        int
+	FreqGHz      float64
+	AvgVelocity  float64
+	MissionTimeS float64
+	EnergyKJ     float64
+	// ErrorMetric is workload specific: the aerial-photography workload
+	// reports its framing error here (the paper's "error rate"), the other
+	// workloads report 0.
+	ErrorMetric float64
+	Success     bool
+}
+
+// WorkloadSweep runs one workload across the scale's operating points and
+// returns both the heat-map cells and the raw results (reused by Figure 15).
+func WorkloadSweep(sc Scale, workload string, seed int64) ([]HeatMapCell, []core.Result, error) {
+	base := sc.baseParams(workload, seed)
+	results, err := core.RunSweep(base, sc.OperatingPoints)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cells []HeatMapCell
+	for _, res := range results {
+		cell := HeatMapCell{
+			Workload:     workload,
+			Cores:        res.Params.Cores,
+			FreqGHz:      res.Params.FreqGHz,
+			AvgVelocity:  res.Report.AverageSpeed,
+			MissionTimeS: res.Report.MissionTimeS,
+			EnergyKJ:     res.Report.TotalEnergyKJ,
+			Success:      res.Report.Success,
+		}
+		if workload == "aerial_photography" {
+			cell.ErrorMetric = res.Report.Means["framing_error_norm"]
+		}
+		cells = append(cells, cell)
+	}
+	return cells, results, nil
+}
+
+// heatMapTable formats sweep cells as a table.
+func heatMapTable(title string, cells []HeatMapCell, isPhotography bool) Table {
+	cols := []string{"cores", "freq_ghz", "avg_velocity_mps", "mission_time_s", "energy_kJ", "success"}
+	if isPhotography {
+		cols = []string{"cores", "freq_ghz", "error_norm", "mission_time_s", "energy_kJ", "success"}
+	}
+	t := Table{Title: title, Columns: cols}
+	for _, c := range cells {
+		metric := f2(c.AvgVelocity)
+		if isPhotography {
+			metric = f3(c.ErrorMetric)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(c.Cores), f1(c.FreqGHz), metric, f1(c.MissionTimeS), f1(c.EnergyKJ), fmt.Sprint(c.Success),
+		})
+	}
+	return t
+}
+
+// Fig10Scanning reproduces Figure 10 (scanning heat maps).
+func Fig10Scanning(sc Scale) ([]HeatMapCell, []core.Result, Table, error) {
+	cells, results, err := WorkloadSweep(sc, "scanning", 101)
+	return cells, results, heatMapTable("Figure 10: Scanning — velocity / mission time / energy vs operating point", cells, false), err
+}
+
+// Fig11PackageDelivery reproduces Figure 11 (package delivery heat maps).
+func Fig11PackageDelivery(sc Scale) ([]HeatMapCell, []core.Result, Table, error) {
+	cells, results, err := WorkloadSweep(sc, "package_delivery", 103)
+	return cells, results, heatMapTable("Figure 11: Package Delivery — velocity / mission time / energy vs operating point", cells, false), err
+}
+
+// Fig12Mapping reproduces Figure 12 (3-D mapping heat maps).
+func Fig12Mapping(sc Scale) ([]HeatMapCell, []core.Result, Table, error) {
+	cells, results, err := WorkloadSweep(sc, "mapping_3d", 107)
+	return cells, results, heatMapTable("Figure 12: 3D Mapping — velocity / mission time / energy vs operating point", cells, false), err
+}
+
+// Fig13SearchRescue reproduces Figure 13 (search-and-rescue heat maps).
+func Fig13SearchRescue(sc Scale) ([]HeatMapCell, []core.Result, Table, error) {
+	cells, results, err := WorkloadSweep(sc, "search_and_rescue", 109)
+	return cells, results, heatMapTable("Figure 13: Search and Rescue — velocity / mission time / energy vs operating point", cells, false), err
+}
+
+// Fig14AerialPhotography reproduces Figure 14 (aerial photography heat maps).
+func Fig14AerialPhotography(sc Scale) ([]HeatMapCell, []core.Result, Table, error) {
+	cells, results, err := WorkloadSweep(sc, "aerial_photography", 113)
+	return cells, results, heatMapTable("Figure 14: Aerial Photography — error / mission time / energy vs operating point", cells, true), err
+}
+
+// Fig10to14 runs all five workload sweeps and returns their cells keyed by
+// workload plus the raw results (for Figure 15).
+func Fig10to14(sc Scale) (map[string][]HeatMapCell, map[string][]core.Result, []Table, error) {
+	cells := map[string][]HeatMapCell{}
+	raw := map[string][]core.Result{}
+	var tables []Table
+
+	type runner func(Scale) ([]HeatMapCell, []core.Result, Table, error)
+	runs := []struct {
+		name string
+		fn   runner
+	}{
+		{"scanning", Fig10Scanning},
+		{"package_delivery", Fig11PackageDelivery},
+		{"mapping_3d", Fig12Mapping},
+		{"search_and_rescue", Fig13SearchRescue},
+		{"aerial_photography", Fig14AerialPhotography},
+	}
+	for _, r := range runs {
+		c, res, tbl, err := r.fn(sc)
+		if err != nil {
+			return cells, raw, tables, fmt.Errorf("experiments: sweep %s: %w", r.name, err)
+		}
+		cells[r.name] = c
+		raw[r.name] = res
+		tables = append(tables, tbl)
+	}
+	return cells, raw, tables, nil
+}
+
+// SpeedupSummary condenses a heat-map sweep into the paper's headline
+// comparison: the best operating point versus the worst.
+type SpeedupSummary struct {
+	Workload           string
+	MissionTimeSpeedup float64
+	EnergyReduction    float64
+	VelocityGain       float64
+}
+
+// Summarize computes the best/worst-point ratios for a sweep. Only successful
+// runs are considered.
+func Summarize(workload string, cells []HeatMapCell) SpeedupSummary {
+	s := SpeedupSummary{Workload: workload}
+	var worstTime, bestTime, worstEnergy, bestEnergy, worstVel, bestVel float64
+	first := true
+	for _, c := range cells {
+		if !c.Success {
+			continue
+		}
+		if first {
+			worstTime, bestTime = c.MissionTimeS, c.MissionTimeS
+			worstEnergy, bestEnergy = c.EnergyKJ, c.EnergyKJ
+			worstVel, bestVel = c.AvgVelocity, c.AvgVelocity
+			first = false
+			continue
+		}
+		if c.MissionTimeS > worstTime {
+			worstTime = c.MissionTimeS
+		}
+		if c.MissionTimeS < bestTime {
+			bestTime = c.MissionTimeS
+		}
+		if c.EnergyKJ > worstEnergy {
+			worstEnergy = c.EnergyKJ
+		}
+		if c.EnergyKJ < bestEnergy {
+			bestEnergy = c.EnergyKJ
+		}
+		if c.AvgVelocity > bestVel {
+			bestVel = c.AvgVelocity
+		}
+		if c.AvgVelocity < worstVel {
+			worstVel = c.AvgVelocity
+		}
+	}
+	if bestTime > 0 {
+		s.MissionTimeSpeedup = worstTime / bestTime
+	}
+	if bestEnergy > 0 {
+		s.EnergyReduction = worstEnergy / bestEnergy
+	}
+	if worstVel > 0 {
+		s.VelocityGain = bestVel / worstVel
+	}
+	return s
+}
+
+// OperatingPointsOf returns the operating points used by the sweep (mostly a
+// convenience for reports).
+func OperatingPointsOf(sc Scale) []compute.OperatingPoint { return sc.OperatingPoints }

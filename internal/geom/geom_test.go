@@ -1,0 +1,382 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec3Arithmetic(t *testing.T) {
+	a := V3(1, 2, 3)
+	b := V3(4, -5, 6)
+
+	if got := a.Add(b); got != V3(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V3(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V3(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Neg(); got != V3(-1, -2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Dot(b); got != 1*4+2*-5+3*6 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestVec3Cross(t *testing.T) {
+	x := V3(1, 0, 0)
+	y := V3(0, 1, 0)
+	if got := x.Cross(y); got != V3(0, 0, 1) {
+		t.Errorf("x cross y = %v, want (0,0,1)", got)
+	}
+	if got := y.Cross(x); got != V3(0, 0, -1) {
+		t.Errorf("y cross x = %v, want (0,0,-1)", got)
+	}
+}
+
+func TestVec3NormAndUnit(t *testing.T) {
+	v := V3(3, 4, 0)
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	u := v.Unit()
+	if !ApproxEqual(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit().Norm() = %v, want 1", u.Norm())
+	}
+	if got := (Vec3{}).Unit(); !got.IsZero() {
+		t.Errorf("zero.Unit() = %v, want zero", got)
+	}
+	if got := v.HorizNorm(); got != 5 {
+		t.Errorf("HorizNorm = %v", got)
+	}
+}
+
+func TestVec3LerpAndClamp(t *testing.T) {
+	a, b := V3(0, 0, 0), V3(10, -10, 4)
+	if got := a.Lerp(b, 0.5); got != V3(5, -5, 2) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+
+	v := V3(5, -20, 3)
+	got := v.Clamp(V3(-1, -1, -1), V3(1, 1, 1))
+	if got != V3(1, -1, 1) {
+		t.Errorf("Clamp = %v", got)
+	}
+
+	if got := V3(10, 0, 0).ClampNorm(3); !Vec3ApproxEqual(got, V3(3, 0, 0), 1e-12) {
+		t.Errorf("ClampNorm = %v", got)
+	}
+	if got := V3(1, 0, 0).ClampNorm(3); got != V3(1, 0, 0) {
+		t.Errorf("ClampNorm should not grow short vectors, got %v", got)
+	}
+	if got := V3(1, 2, 3).ClampNorm(0); !got.IsZero() {
+		t.Errorf("ClampNorm(0) = %v, want zero", got)
+	}
+}
+
+func TestVec3Yaw(t *testing.T) {
+	cases := []struct {
+		v    Vec3
+		want float64
+	}{
+		{V3(1, 0, 0), 0},
+		{V3(0, 1, 0), math.Pi / 2},
+		{V3(-1, 0, 0), math.Pi},
+		{V3(0, -1, 0), -math.Pi / 2},
+		{V3(0, 0, 5), 0},
+	}
+	for _, c := range cases {
+		if got := c.v.Yaw(); !ApproxEqual(got, c.want, 1e-12) {
+			t.Errorf("Yaw(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestVec3IsFinite(t *testing.T) {
+	if !V3(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V3(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V3(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestVec2Basics(t *testing.T) {
+	a := V2(3, 4)
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := a.Add(V2(1, 1)); got != V2(4, 5) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(V2(1, 1)); got != V2(2, 3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V2(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(V2(2, 0)); got != 6 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Vec3(7); got != V3(3, 4, 7) {
+		t.Errorf("Vec3 = %v", got)
+	}
+	if got := a.Dist(V2(0, 0)); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestWrapAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi / 2, math.Pi / 2},
+		{3 * math.Pi, math.Pi},
+		{-3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+	}
+	for _, c := range cases {
+		if got := WrapAngle(c.in); !ApproxEqual(got, c.want, 1e-9) {
+			t.Errorf("WrapAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if got := AngleDiff(0.1, -0.1); !ApproxEqual(got, 0.2, 1e-12) {
+		t.Errorf("AngleDiff = %v", got)
+	}
+	// Wrap-around: from 175° to -175° the shortest signed difference is -10°.
+	a := 175 * math.Pi / 180
+	b := -175 * math.Pi / 180
+	if got := AngleDiff(b, a); !ApproxEqual(got, 10*math.Pi/180, 1e-9) {
+		t.Errorf("AngleDiff wrap = %v", got)
+	}
+}
+
+func TestPoseTransforms(t *testing.T) {
+	p := NewPose(V3(10, 5, 2), math.Pi/2)
+
+	// A point 1 m ahead of the vehicle should be at world (10, 6, 2).
+	world := p.ToWorld(V3(1, 0, 0))
+	if !Vec3ApproxEqual(world, V3(10, 6, 2), 1e-9) {
+		t.Errorf("ToWorld = %v", world)
+	}
+	// Round-trip.
+	back := p.ToBody(world)
+	if !Vec3ApproxEqual(back, V3(1, 0, 0), 1e-9) {
+		t.Errorf("ToBody(ToWorld(x)) = %v", back)
+	}
+
+	fwd := p.Forward()
+	if !Vec3ApproxEqual(fwd, V3(0, 1, 0), 1e-9) {
+		t.Errorf("Forward = %v", fwd)
+	}
+	right := p.Right()
+	if !Vec3ApproxEqual(right, V3(1, 0, 0), 1e-9) {
+		t.Errorf("Right = %v", right)
+	}
+}
+
+func TestPoseRoundTripProperty(t *testing.T) {
+	f := func(px, py, pz, yaw, x, y, z float64) bool {
+		p := NewPose(V3(px, py, pz), yaw)
+		v := V3(x, y, z)
+		if !v.IsFinite() || !p.Position.IsFinite() {
+			return true
+		}
+		// Restrict magnitudes so floating error stays bounded.
+		if v.Norm() > 1e6 || p.Position.Norm() > 1e6 {
+			return true
+		}
+		rt := p.ToBody(p.ToWorld(v))
+		return Vec3ApproxEqual(rt, v, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAABBContainsIntersects(t *testing.T) {
+	b := NewAABB(V3(0, 0, 0), V3(10, 10, 10))
+	if !b.Contains(V3(5, 5, 5)) {
+		t.Error("center should be contained")
+	}
+	if !b.Contains(V3(0, 0, 0)) {
+		t.Error("corner should be contained (closed box)")
+	}
+	if b.Contains(V3(-0.1, 5, 5)) {
+		t.Error("outside point reported contained")
+	}
+
+	o := BoxAt(V3(10, 10, 10), V3(2, 2, 2))
+	if !b.Intersects(o) {
+		t.Error("touching boxes should intersect")
+	}
+	far := BoxAt(V3(30, 30, 30), V3(2, 2, 2))
+	if b.Intersects(far) {
+		t.Error("distant boxes should not intersect")
+	}
+}
+
+func TestAABBGeometry(t *testing.T) {
+	b := NewAABB(V3(2, 2, 2), V3(-2, -2, -2)) // corners given out of order
+	if b.Min != V3(-2, -2, -2) || b.Max != V3(2, 2, 2) {
+		t.Fatalf("NewAABB did not normalize: %v", b)
+	}
+	if got := b.Center(); got != V3(0, 0, 0) {
+		t.Errorf("Center = %v", got)
+	}
+	if got := b.Size(); got != V3(4, 4, 4) {
+		t.Errorf("Size = %v", got)
+	}
+	if got := b.Volume(); got != 64 {
+		t.Errorf("Volume = %v", got)
+	}
+	e := b.Expand(1)
+	if e.Min != V3(-3, -3, -3) || e.Max != V3(3, 3, 3) {
+		t.Errorf("Expand = %v", e)
+	}
+	u := b.Union(BoxAt(V3(10, 0, 0), V3(2, 2, 2)))
+	if u.Max.X != 11 {
+		t.Errorf("Union.Max.X = %v", u.Max.X)
+	}
+	tr := b.Translate(V3(1, 2, 3))
+	if tr.Center() != V3(1, 2, 3) {
+		t.Errorf("Translate center = %v", tr.Center())
+	}
+	if d := b.DistanceTo(V3(5, 0, 0)); !ApproxEqual(d, 3, 1e-12) {
+		t.Errorf("DistanceTo = %v", d)
+	}
+	if d := b.DistanceTo(V3(0, 0, 0)); d != 0 {
+		t.Errorf("DistanceTo inside = %v", d)
+	}
+}
+
+func TestRayIntersectAABB(t *testing.T) {
+	b := NewAABB(V3(5, -1, -1), V3(7, 1, 1))
+
+	r := Ray{Origin: V3(0, 0, 0), Dir: V3(1, 0, 0)}
+	tHit, ok := r.IntersectAABB(b)
+	if !ok || !ApproxEqual(tHit, 5, 1e-9) {
+		t.Errorf("forward ray: t=%v ok=%v", tHit, ok)
+	}
+
+	// Ray pointing away never hits.
+	r2 := Ray{Origin: V3(0, 0, 0), Dir: V3(-1, 0, 0)}
+	if _, ok := r2.IntersectAABB(b); ok {
+		t.Error("backward ray should miss")
+	}
+
+	// Origin inside the box: t = 0.
+	r3 := Ray{Origin: V3(6, 0, 0), Dir: V3(1, 0, 0)}
+	tHit, ok = r3.IntersectAABB(b)
+	if !ok || tHit != 0 {
+		t.Errorf("inside ray: t=%v ok=%v", tHit, ok)
+	}
+
+	// Parallel ray outside the slab misses.
+	r4 := Ray{Origin: V3(0, 5, 0), Dir: V3(1, 0, 0)}
+	if _, ok := r4.IntersectAABB(b); ok {
+		t.Error("parallel offset ray should miss")
+	}
+}
+
+func TestSegment(t *testing.T) {
+	s := Segment{A: V3(0, 0, 0), B: V3(10, 0, 0)}
+	if got := s.Length(); got != 10 {
+		t.Errorf("Length = %v", got)
+	}
+	if got := s.At(0.25); got != V3(2.5, 0, 0) {
+		t.Errorf("At = %v", got)
+	}
+	if got := s.ClosestPointTo(V3(5, 3, 0)); got != V3(5, 0, 0) {
+		t.Errorf("ClosestPointTo = %v", got)
+	}
+	if got := s.ClosestPointTo(V3(-5, 0, 0)); got != V3(0, 0, 0) {
+		t.Errorf("ClosestPointTo before A = %v", got)
+	}
+	if got := s.DistanceTo(V3(5, 3, 0)); got != 3 {
+		t.Errorf("DistanceTo = %v", got)
+	}
+
+	degenerate := Segment{A: V3(1, 1, 1), B: V3(1, 1, 1)}
+	if got := degenerate.ClosestPointTo(V3(9, 9, 9)); got != V3(1, 1, 1) {
+		t.Errorf("degenerate ClosestPointTo = %v", got)
+	}
+}
+
+func TestSegmentIntersectsAABB(t *testing.T) {
+	b := NewAABB(V3(4, -1, -1), V3(6, 1, 1))
+
+	if !(Segment{A: V3(0, 0, 0), B: V3(10, 0, 0)}).IntersectsAABB(b, 0) {
+		t.Error("segment through box should intersect")
+	}
+	if (Segment{A: V3(0, 0, 0), B: V3(3, 0, 0)}).IntersectsAABB(b, 0) {
+		t.Error("short segment should not reach box")
+	}
+	// With inflation the short segment does reach.
+	if !(Segment{A: V3(0, 0, 0), B: V3(3.5, 0, 0)}).IntersectsAABB(b, 0.6) {
+		t.Error("inflated box should be hit")
+	}
+	// Zero-length segment inside.
+	if !(Segment{A: V3(5, 0, 0), B: V3(5, 0, 0)}).IntersectsAABB(b, 0) {
+		t.Error("point inside box should intersect")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 10) != 5 || Clamp(-1, 0, 10) != 0 || Clamp(11, 0, 10) != 10 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+// Property: for any box and any ray hitting it, the hit point lies on the box
+// boundary or inside it.
+func TestRayHitPointInsideBoxProperty(t *testing.T) {
+	f := func(ox, oy, oz, dx, dy, dz float64) bool {
+		b := NewAABB(V3(-5, -5, -5), V3(5, 5, 5))
+		dir := V3(dx, dy, dz)
+		if dir.Norm() < 1e-9 || !dir.IsFinite() {
+			return true
+		}
+		o := V3(ox, oy, oz)
+		if !o.IsFinite() || o.Norm() > 1e4 {
+			return true
+		}
+		r := Ray{Origin: o, Dir: dir}
+		tHit, ok := r.IntersectAABB(b)
+		if !ok {
+			return true
+		}
+		p := r.At(tHit)
+		return b.Expand(1e-6).Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := V3(1, 2, 3).String(); s == "" {
+		t.Error("Vec3.String empty")
+	}
+	if s := NewPose(V3(0, 0, 0), 1).String(); s == "" {
+		t.Error("Pose.String empty")
+	}
+	if s := NewAABB(V3(0, 0, 0), V3(1, 1, 1)).String(); s == "" {
+		t.Error("AABB.String empty")
+	}
+}

@@ -1,0 +1,236 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pose is the position and heading of a rigid body in the world frame.
+// MAVBench models the MAV as a point with yaw; roll and pitch are handled by
+// the (abstracted) low-level attitude controller and never exposed to the
+// application pipeline, mirroring how AirSim's high-level API is used by the
+// original benchmark.
+type Pose struct {
+	Position Vec3
+	Yaw      float64 // radians, about +Z, 0 = +X
+}
+
+// NewPose constructs a pose at position p with heading yaw.
+func NewPose(p Vec3, yaw float64) Pose { return Pose{Position: p, Yaw: WrapAngle(yaw)} }
+
+// Forward returns the unit vector in the horizontal plane pointing along the
+// pose's heading.
+func (p Pose) Forward() Vec3 {
+	return Vec3{X: math.Cos(p.Yaw), Y: math.Sin(p.Yaw)}
+}
+
+// Right returns the unit vector in the horizontal plane pointing to the
+// pose's right-hand side.
+func (p Pose) Right() Vec3 {
+	return Vec3{X: math.Sin(p.Yaw), Y: -math.Cos(p.Yaw)}
+}
+
+// ToBody transforms a world-frame point into the pose's body frame
+// (x forward, y left, z up).
+func (p Pose) ToBody(world Vec3) Vec3 {
+	d := world.Sub(p.Position)
+	c, s := math.Cos(p.Yaw), math.Sin(p.Yaw)
+	return Vec3{
+		X: c*d.X + s*d.Y,
+		Y: -s*d.X + c*d.Y,
+		Z: d.Z,
+	}
+}
+
+// ToWorld transforms a body-frame point into the world frame.
+func (p Pose) ToWorld(body Vec3) Vec3 {
+	c, s := math.Cos(p.Yaw), math.Sin(p.Yaw)
+	return Vec3{
+		X: p.Position.X + c*body.X - s*body.Y,
+		Y: p.Position.Y + s*body.X + c*body.Y,
+		Z: p.Position.Z + body.Z,
+	}
+}
+
+// String implements fmt.Stringer.
+func (p Pose) String() string {
+	return fmt.Sprintf("pos=%v yaw=%.1f°", p.Position, p.Yaw*180/math.Pi)
+}
+
+// AABB is an axis-aligned bounding box described by its minimum and maximum
+// corners. Boxes are closed: points on the boundary are considered inside.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// NewAABB builds a box from two arbitrary opposite corners, normalizing so
+// that Min <= Max componentwise.
+func NewAABB(a, b Vec3) AABB {
+	return AABB{
+		Min: Vec3{math.Min(a.X, b.X), math.Min(a.Y, b.Y), math.Min(a.Z, b.Z)},
+		Max: Vec3{math.Max(a.X, b.X), math.Max(a.Y, b.Y), math.Max(a.Z, b.Z)},
+	}
+}
+
+// BoxAt builds a box centered at c with full extents size.
+func BoxAt(c, size Vec3) AABB {
+	h := size.Scale(0.5)
+	return AABB{Min: c.Sub(h), Max: c.Add(h)}
+}
+
+// Center returns the centroid of the box.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Size returns the full extent of the box along each axis.
+func (b AABB) Size() Vec3 { return b.Max.Sub(b.Min) }
+
+// Volume returns the volume of the box.
+func (b AABB) Volume() float64 {
+	s := b.Size()
+	return s.X * s.Y * s.Z
+}
+
+// Contains reports whether point p lies inside (or on the boundary of) b.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Intersects reports whether b and o overlap.
+func (b AABB) Intersects(o AABB) bool {
+	return b.Min.X <= o.Max.X && b.Max.X >= o.Min.X &&
+		b.Min.Y <= o.Max.Y && b.Max.Y >= o.Min.Y &&
+		b.Min.Z <= o.Max.Z && b.Max.Z >= o.Min.Z
+}
+
+// Expand returns b grown by r in every direction (Minkowski inflation by a
+// cube of half-extent r). Used for collision checking with a vehicle of
+// non-zero radius.
+func (b AABB) Expand(r float64) AABB {
+	d := Vec3{r, r, r}
+	return AABB{Min: b.Min.Sub(d), Max: b.Max.Add(d)}
+}
+
+// Union returns the smallest box containing both b and o.
+func (b AABB) Union(o AABB) AABB {
+	return AABB{
+		Min: Vec3{math.Min(b.Min.X, o.Min.X), math.Min(b.Min.Y, o.Min.Y), math.Min(b.Min.Z, o.Min.Z)},
+		Max: Vec3{math.Max(b.Max.X, o.Max.X), math.Max(b.Max.Y, o.Max.Y), math.Max(b.Max.Z, o.Max.Z)},
+	}
+}
+
+// Translate returns b shifted by d.
+func (b AABB) Translate(d Vec3) AABB {
+	return AABB{Min: b.Min.Add(d), Max: b.Max.Add(d)}
+}
+
+// ClosestPoint returns the point inside b closest to p (p itself if p is
+// inside b).
+func (b AABB) ClosestPoint(p Vec3) Vec3 {
+	return p.Clamp(b.Min, b.Max)
+}
+
+// DistanceTo returns the Euclidean distance from p to the box (zero if p is
+// inside).
+func (b AABB) DistanceTo(p Vec3) float64 {
+	return b.ClosestPoint(p).Dist(p)
+}
+
+// String implements fmt.Stringer.
+func (b AABB) String() string { return fmt.Sprintf("[%v .. %v]", b.Min, b.Max) }
+
+// Ray is a half-line starting at Origin in direction Dir (not necessarily
+// normalized).
+type Ray struct {
+	Origin Vec3
+	Dir    Vec3
+}
+
+// At returns the point Origin + t*Dir.
+func (r Ray) At(t float64) Vec3 { return r.Origin.Add(r.Dir.Scale(t)) }
+
+// IntersectAABB computes the parametric interval of r inside box b using the
+// slab method. It returns the entry parameter and true when the ray
+// intersects the box with some t >= 0; the entry parameter is clamped to be
+// non-negative (origin inside the box yields 0).
+func (r Ray) IntersectAABB(b AABB) (float64, bool) {
+	tmin := math.Inf(-1)
+	tmax := math.Inf(1)
+
+	o := [3]float64{r.Origin.X, r.Origin.Y, r.Origin.Z}
+	d := [3]float64{r.Dir.X, r.Dir.Y, r.Dir.Z}
+	lo := [3]float64{b.Min.X, b.Min.Y, b.Min.Z}
+	hi := [3]float64{b.Max.X, b.Max.Y, b.Max.Z}
+
+	for i := 0; i < 3; i++ {
+		if d[i] == 0 {
+			if o[i] < lo[i] || o[i] > hi[i] {
+				return 0, false
+			}
+			continue
+		}
+		inv := 1 / d[i]
+		t1 := (lo[i] - o[i]) * inv
+		t2 := (hi[i] - o[i]) * inv
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		if t1 > tmin {
+			tmin = t1
+		}
+		if t2 < tmax {
+			tmax = t2
+		}
+		if tmin > tmax {
+			return 0, false
+		}
+	}
+	if tmax < 0 {
+		return 0, false
+	}
+	if tmin < 0 {
+		tmin = 0
+	}
+	return tmin, true
+}
+
+// Segment is the finite line segment between A and B.
+type Segment struct {
+	A, B Vec3
+}
+
+// Length returns the length of the segment.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// At returns the point interpolated at fraction t in [0,1] along the segment.
+func (s Segment) At(t float64) Vec3 { return s.A.Lerp(s.B, t) }
+
+// ClosestPointTo returns the point on the segment closest to p.
+func (s Segment) ClosestPointTo(p Vec3) Vec3 {
+	d := s.B.Sub(s.A)
+	den := d.NormSq()
+	if den == 0 {
+		return s.A
+	}
+	t := Clamp(p.Sub(s.A).Dot(d)/den, 0, 1)
+	return s.At(t)
+}
+
+// DistanceTo returns the distance from p to the segment.
+func (s Segment) DistanceTo(p Vec3) float64 { return s.ClosestPointTo(p).Dist(p) }
+
+// IntersectsAABB reports whether the segment passes through box b, optionally
+// inflated by radius r (for swept-sphere collision checks).
+func (s Segment) IntersectsAABB(b AABB, r float64) bool {
+	if r > 0 {
+		b = b.Expand(r)
+	}
+	dir := s.B.Sub(s.A)
+	length := dir.Norm()
+	if length == 0 {
+		return b.Contains(s.A)
+	}
+	t, ok := Ray{Origin: s.A, Dir: dir}.IntersectAABB(b)
+	return ok && t <= 1
+}

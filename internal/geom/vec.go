@@ -1,0 +1,200 @@
+// Package geom provides the small 3-D geometry toolkit used throughout
+// MAVBench: vectors, poses, axis-aligned boxes, rays and segments, together
+// with the handful of numeric helpers the simulator and planners need.
+//
+// All types are plain values; the package has no dependencies beyond the
+// standard library and performs no allocation in its hot paths.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-D vector (or point) expressed in meters in the world frame.
+// X and Y span the horizontal plane; Z points up.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V3 is shorthand for constructing a Vec3.
+func V3(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns v + o.
+func (v Vec3) Add(o Vec3) Vec3 { return Vec3{v.X + o.X, v.Y + o.Y, v.Z + o.Z} }
+
+// Sub returns v - o.
+func (v Vec3) Sub(o Vec3) Vec3 { return Vec3{v.X - o.X, v.Y - o.Y, v.Z - o.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Neg returns -v.
+func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the dot product of v and o.
+func (v Vec3) Dot(o Vec3) float64 { return v.X*o.X + v.Y*o.Y + v.Z*o.Z }
+
+// Cross returns the cross product v × o.
+func (v Vec3) Cross(o Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*o.Z - v.Z*o.Y,
+		Y: v.Z*o.X - v.X*o.Z,
+		Z: v.X*o.Y - v.Y*o.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// NormSq returns the squared Euclidean length of v.
+func (v Vec3) NormSq() float64 { return v.Dot(v) }
+
+// HorizNorm returns the length of the horizontal (XY) component of v.
+func (v Vec3) HorizNorm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Horiz returns v with its Z component zeroed.
+func (v Vec3) Horiz() Vec3 { return Vec3{v.X, v.Y, 0} }
+
+// Unit returns v normalized to length 1. The zero vector is returned
+// unchanged.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return Vec3{}
+	}
+	return v.Scale(1 / n)
+}
+
+// Dist returns the Euclidean distance between v and o.
+func (v Vec3) Dist(o Vec3) float64 { return v.Sub(o).Norm() }
+
+// DistSq returns the squared Euclidean distance between v and o.
+func (v Vec3) DistSq(o Vec3) float64 { return v.Sub(o).NormSq() }
+
+// HorizDist returns the horizontal (XY-plane) distance between v and o.
+func (v Vec3) HorizDist(o Vec3) float64 { return math.Hypot(v.X-o.X, v.Y-o.Y) }
+
+// Lerp linearly interpolates between v and o: t=0 yields v, t=1 yields o.
+func (v Vec3) Lerp(o Vec3, t float64) Vec3 {
+	return Vec3{
+		X: v.X + (o.X-v.X)*t,
+		Y: v.Y + (o.Y-v.Y)*t,
+		Z: v.Z + (o.Z-v.Z)*t,
+	}
+}
+
+// Clamp returns v with each component clamped to [lo, hi] of the
+// corresponding component of the bounds.
+func (v Vec3) Clamp(lo, hi Vec3) Vec3 {
+	return Vec3{
+		X: Clamp(v.X, lo.X, hi.X),
+		Y: Clamp(v.Y, lo.Y, hi.Y),
+		Z: Clamp(v.Z, lo.Z, hi.Z),
+	}
+}
+
+// ClampNorm returns v with its length limited to max. Vectors shorter than
+// max are returned unchanged.
+func (v Vec3) ClampNorm(max float64) Vec3 {
+	if max <= 0 {
+		return Vec3{}
+	}
+	n := v.Norm()
+	if n <= max {
+		return v
+	}
+	return v.Scale(max / n)
+}
+
+// IsZero reports whether all components are exactly zero.
+func (v Vec3) IsZero() bool { return v.X == 0 && v.Y == 0 && v.Z == 0 }
+
+// IsFinite reports whether all components are finite numbers.
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// Yaw returns the heading angle (radians, about +Z, measured from +X towards
+// +Y) of the horizontal component of v. The zero vector yields 0.
+func (v Vec3) Yaw() float64 {
+	if v.X == 0 && v.Y == 0 {
+		return 0
+	}
+	return math.Atan2(v.Y, v.X)
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.3f, %.3f, %.3f)", v.X, v.Y, v.Z)
+}
+
+// Vec2 is a 2-D vector used by planar planners (lawnmower coverage) and by
+// image-space quantities such as bounding-box centers.
+type Vec2 struct {
+	X, Y float64
+}
+
+// V2 is shorthand for constructing a Vec2.
+func V2(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// Add returns v + o.
+func (v Vec2) Add(o Vec2) Vec2 { return Vec2{v.X + o.X, v.Y + o.Y} }
+
+// Sub returns v - o.
+func (v Vec2) Sub(o Vec2) Vec2 { return Vec2{v.X - o.X, v.Y - o.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product of v and o.
+func (v Vec2) Dot(o Vec2) float64 { return v.X*o.X + v.Y*o.Y }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and o.
+func (v Vec2) Dist(o Vec2) float64 { return v.Sub(o).Norm() }
+
+// Vec3 lifts v into 3-D space at height z.
+func (v Vec2) Vec3(z float64) Vec3 { return Vec3{v.X, v.Y, z} }
+
+// Clamp limits x to the interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// WrapAngle wraps an angle in radians to the interval (-π, π]. Non-finite
+// inputs yield 0.
+func WrapAngle(a float64) float64 {
+	if math.IsNaN(a) || math.IsInf(a, 0) {
+		return 0
+	}
+	a = math.Mod(a, 2*math.Pi)
+	if a > math.Pi {
+		a -= 2 * math.Pi
+	} else if a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// AngleDiff returns the smallest signed difference a-b wrapped to (-π, π].
+func AngleDiff(a, b float64) float64 { return WrapAngle(a - b) }
+
+// ApproxEqual reports whether a and b differ by no more than eps.
+func ApproxEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// Vec3ApproxEqual reports whether each component of a and b differs by no
+// more than eps.
+func Vec3ApproxEqual(a, b Vec3, eps float64) bool {
+	return ApproxEqual(a.X, b.X, eps) && ApproxEqual(a.Y, b.Y, eps) && ApproxEqual(a.Z, b.Z, eps)
+}

@@ -1,0 +1,211 @@
+// Package mavlink implements a compact MAVLink-style message marshaling
+// layer.
+//
+// In the original MAVBench setup the companion computer (TX2) talks to the
+// flight controller (PX4/AirSim) over the MAVLink protocol. The closed-loop
+// reproduction keeps that boundary explicit: flight commands and telemetry
+// cross it as serialized frames, so studies that care about link overheads
+// (e.g. offloading, or swapping the flight controller) have a real
+// serialization layer to instrument. The frame layout follows MAVLink v1's
+// shape (STX, length, sequence, system/component id, message id, payload,
+// CRC) without claiming wire compatibility.
+package mavlink
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"mavbench/internal/geom"
+)
+
+// Message IDs used by the benchmark's command/telemetry traffic.
+const (
+	MsgIDHeartbeat        = 0
+	MsgIDVelocitySetpoint = 84
+	MsgIDLocalPosition    = 32
+	MsgIDBatteryStatus    = 147
+	MsgIDCommandTakeoff   = 22
+	MsgIDCommandLand      = 21
+	MsgIDCommandArm       = 76
+	MsgIDStatusText       = 253
+)
+
+// Frame is a serialized message.
+type Frame struct {
+	Sequence    uint8
+	SystemID    uint8
+	ComponentID uint8
+	MessageID   uint8
+	Payload     []byte
+}
+
+const frameOverhead = 8 // STX + len + seq + sysid + compid + msgid + crc16
+
+// Size returns the serialized length of the frame in bytes.
+func (f Frame) Size() int { return frameOverhead + len(f.Payload) }
+
+var stx = byte(0xFE)
+
+// Marshal serializes the frame.
+func (f Frame) Marshal() []byte {
+	if len(f.Payload) > 255 {
+		f.Payload = f.Payload[:255]
+	}
+	buf := make([]byte, 0, f.Size())
+	buf = append(buf, stx, byte(len(f.Payload)), f.Sequence, f.SystemID, f.ComponentID, f.MessageID)
+	buf = append(buf, f.Payload...)
+	crc := checksum(buf[1:])
+	buf = binary.LittleEndian.AppendUint16(buf, crc)
+	return buf
+}
+
+// ErrBadFrame is returned when parsing fails.
+var ErrBadFrame = errors.New("mavlink: malformed frame")
+
+// Unmarshal parses a frame from buf, returning the frame and the number of
+// bytes consumed.
+func Unmarshal(buf []byte) (Frame, int, error) {
+	if len(buf) < frameOverhead {
+		return Frame{}, 0, fmt.Errorf("%w: short buffer (%d bytes)", ErrBadFrame, len(buf))
+	}
+	if buf[0] != stx {
+		return Frame{}, 0, fmt.Errorf("%w: bad start byte 0x%02x", ErrBadFrame, buf[0])
+	}
+	payloadLen := int(buf[1])
+	total := frameOverhead + payloadLen
+	if len(buf) < total {
+		return Frame{}, 0, fmt.Errorf("%w: truncated frame", ErrBadFrame)
+	}
+	want := binary.LittleEndian.Uint16(buf[total-2 : total])
+	if checksum(buf[1:total-2]) != want {
+		return Frame{}, 0, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	f := Frame{
+		Sequence:    buf[2],
+		SystemID:    buf[3],
+		ComponentID: buf[4],
+		MessageID:   buf[5],
+		Payload:     append([]byte(nil), buf[6:6+payloadLen]...),
+	}
+	return f, total, nil
+}
+
+// checksum is the X.25/CRC-16-CCITT accumulation MAVLink uses.
+func checksum(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		tmp := b ^ byte(crc&0xFF)
+		tmp ^= tmp << 4
+		crc = (crc >> 8) ^ (uint16(tmp) << 8) ^ (uint16(tmp) << 3) ^ (uint16(tmp) >> 4)
+	}
+	return crc
+}
+
+// VelocitySetpoint is the companion computer's velocity command.
+type VelocitySetpoint struct {
+	Velocity geom.Vec3
+	YawRate  float64
+}
+
+// EncodeVelocitySetpoint builds a frame carrying a velocity setpoint.
+func EncodeVelocitySetpoint(seq uint8, sp VelocitySetpoint) Frame {
+	payload := make([]byte, 0, 16)
+	payload = appendFloat32(payload, sp.Velocity.X)
+	payload = appendFloat32(payload, sp.Velocity.Y)
+	payload = appendFloat32(payload, sp.Velocity.Z)
+	payload = appendFloat32(payload, sp.YawRate)
+	return Frame{Sequence: seq, SystemID: 1, ComponentID: 1, MessageID: MsgIDVelocitySetpoint, Payload: payload}
+}
+
+// DecodeVelocitySetpoint parses a velocity-setpoint frame.
+func DecodeVelocitySetpoint(f Frame) (VelocitySetpoint, error) {
+	if f.MessageID != MsgIDVelocitySetpoint {
+		return VelocitySetpoint{}, fmt.Errorf("mavlink: frame %d is not a velocity setpoint", f.MessageID)
+	}
+	if len(f.Payload) < 16 {
+		return VelocitySetpoint{}, fmt.Errorf("%w: velocity payload too short", ErrBadFrame)
+	}
+	return VelocitySetpoint{
+		Velocity: geom.V3(readFloat32(f.Payload, 0), readFloat32(f.Payload, 4), readFloat32(f.Payload, 8)),
+		YawRate:  readFloat32(f.Payload, 12),
+	}, nil
+}
+
+// LocalPosition is the flight controller's position/velocity telemetry.
+type LocalPosition struct {
+	Position geom.Vec3
+	Velocity geom.Vec3
+	Yaw      float64
+}
+
+// EncodeLocalPosition builds a frame carrying position telemetry.
+func EncodeLocalPosition(seq uint8, lp LocalPosition) Frame {
+	payload := make([]byte, 0, 28)
+	payload = appendFloat32(payload, lp.Position.X)
+	payload = appendFloat32(payload, lp.Position.Y)
+	payload = appendFloat32(payload, lp.Position.Z)
+	payload = appendFloat32(payload, lp.Velocity.X)
+	payload = appendFloat32(payload, lp.Velocity.Y)
+	payload = appendFloat32(payload, lp.Velocity.Z)
+	payload = appendFloat32(payload, lp.Yaw)
+	return Frame{Sequence: seq, SystemID: 1, ComponentID: 190, MessageID: MsgIDLocalPosition, Payload: payload}
+}
+
+// DecodeLocalPosition parses a local-position frame.
+func DecodeLocalPosition(f Frame) (LocalPosition, error) {
+	if f.MessageID != MsgIDLocalPosition {
+		return LocalPosition{}, fmt.Errorf("mavlink: frame %d is not a local position", f.MessageID)
+	}
+	if len(f.Payload) < 28 {
+		return LocalPosition{}, fmt.Errorf("%w: position payload too short", ErrBadFrame)
+	}
+	return LocalPosition{
+		Position: geom.V3(readFloat32(f.Payload, 0), readFloat32(f.Payload, 4), readFloat32(f.Payload, 8)),
+		Velocity: geom.V3(readFloat32(f.Payload, 12), readFloat32(f.Payload, 16), readFloat32(f.Payload, 20)),
+		Yaw:      readFloat32(f.Payload, 24),
+	}, nil
+}
+
+// BatteryStatus is the flight controller's battery telemetry.
+type BatteryStatus struct {
+	Voltage          float64
+	RemainingPercent float64
+}
+
+// EncodeBatteryStatus builds a battery-status frame.
+func EncodeBatteryStatus(seq uint8, b BatteryStatus) Frame {
+	payload := make([]byte, 0, 8)
+	payload = appendFloat32(payload, b.Voltage)
+	payload = appendFloat32(payload, b.RemainingPercent)
+	return Frame{Sequence: seq, SystemID: 1, ComponentID: 1, MessageID: MsgIDBatteryStatus, Payload: payload}
+}
+
+// DecodeBatteryStatus parses a battery-status frame.
+func DecodeBatteryStatus(f Frame) (BatteryStatus, error) {
+	if f.MessageID != MsgIDBatteryStatus {
+		return BatteryStatus{}, fmt.Errorf("mavlink: frame %d is not a battery status", f.MessageID)
+	}
+	if len(f.Payload) < 8 {
+		return BatteryStatus{}, fmt.Errorf("%w: battery payload too short", ErrBadFrame)
+	}
+	return BatteryStatus{
+		Voltage:          readFloat32(f.Payload, 0),
+		RemainingPercent: readFloat32(f.Payload, 4),
+	}, nil
+}
+
+// EncodeCommand builds a parameterless command frame (arm, takeoff, land).
+func EncodeCommand(seq uint8, msgID uint8, param float64) Frame {
+	payload := appendFloat32(nil, param)
+	return Frame{Sequence: seq, SystemID: 1, ComponentID: 1, MessageID: msgID, Payload: payload}
+}
+
+func appendFloat32(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(v)))
+}
+
+func readFloat32(b []byte, off int) float64 {
+	return float64(math.Float32frombits(binary.LittleEndian.Uint32(b[off : off+4])))
+}

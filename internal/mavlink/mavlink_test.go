@@ -1,0 +1,160 @@
+package mavlink
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mavbench/internal/geom"
+)
+
+func TestVelocitySetpointRoundTrip(t *testing.T) {
+	sp := VelocitySetpoint{Velocity: geom.V3(1.5, -2.25, 0.5), YawRate: 0.75}
+	frame := EncodeVelocitySetpoint(7, sp)
+	raw := frame.Marshal()
+	parsed, n, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(raw) {
+		t.Errorf("consumed %d of %d bytes", n, len(raw))
+	}
+	if parsed.Sequence != 7 || parsed.MessageID != MsgIDVelocitySetpoint {
+		t.Errorf("header mismatch: %+v", parsed)
+	}
+	got, err := DecodeVelocitySetpoint(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !geom.Vec3ApproxEqual(got.Velocity, sp.Velocity, 1e-6) || math.Abs(got.YawRate-sp.YawRate) > 1e-6 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestLocalPositionRoundTrip(t *testing.T) {
+	lp := LocalPosition{Position: geom.V3(10, 20, 30), Velocity: geom.V3(-1, 2, -3), Yaw: 1.25}
+	frame := EncodeLocalPosition(1, lp)
+	parsed, _, err := Unmarshal(frame.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLocalPosition(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !geom.Vec3ApproxEqual(got.Position, lp.Position, 1e-4) ||
+		!geom.Vec3ApproxEqual(got.Velocity, lp.Velocity, 1e-4) ||
+		math.Abs(got.Yaw-lp.Yaw) > 1e-6 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestBatteryStatusRoundTrip(t *testing.T) {
+	b := BatteryStatus{Voltage: 24.7, RemainingPercent: 63.5}
+	parsed, _, err := Unmarshal(EncodeBatteryStatus(3, b).Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatteryStatus(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Voltage-b.Voltage) > 1e-4 || math.Abs(got.RemainingPercent-b.RemainingPercent) > 1e-4 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestCommandFrames(t *testing.T) {
+	for _, id := range []uint8{MsgIDCommandArm, MsgIDCommandTakeoff, MsgIDCommandLand} {
+		f := EncodeCommand(1, id, 5)
+		parsed, _, err := Unmarshal(f.Marshal())
+		if err != nil {
+			t.Fatalf("command %d: %v", id, err)
+		}
+		if parsed.MessageID != id {
+			t.Errorf("message id %d != %d", parsed.MessageID, id)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, _, err := Unmarshal(nil); !errors.Is(err, ErrBadFrame) {
+		t.Error("nil buffer should be a bad frame")
+	}
+	if _, _, err := Unmarshal([]byte{1, 2, 3, 4, 5, 6, 7, 8}); !errors.Is(err, ErrBadFrame) {
+		t.Error("bad STX should be rejected")
+	}
+	good := EncodeCommand(1, MsgIDCommandArm, 0).Marshal()
+	// Truncated.
+	if _, _, err := Unmarshal(good[:len(good)-3]); !errors.Is(err, ErrBadFrame) {
+		t.Error("truncated frame should be rejected")
+	}
+	// Corrupted payload -> checksum failure.
+	bad := append([]byte(nil), good...)
+	bad[6] ^= 0xFF
+	if _, _, err := Unmarshal(bad); !errors.Is(err, ErrBadFrame) {
+		t.Error("corrupted frame should fail the checksum")
+	}
+}
+
+func TestDecodeWrongType(t *testing.T) {
+	f := EncodeCommand(1, MsgIDCommandArm, 0)
+	if _, err := DecodeVelocitySetpoint(f); err == nil {
+		t.Error("decoding a command as a velocity setpoint should fail")
+	}
+	if _, err := DecodeLocalPosition(f); err == nil {
+		t.Error("decoding a command as a position should fail")
+	}
+	if _, err := DecodeBatteryStatus(f); err == nil {
+		t.Error("decoding a command as a battery status should fail")
+	}
+	// Short payloads.
+	short := Frame{MessageID: MsgIDVelocitySetpoint, Payload: []byte{1, 2}}
+	if _, err := DecodeVelocitySetpoint(short); err == nil {
+		t.Error("short velocity payload should fail")
+	}
+}
+
+func TestFrameSize(t *testing.T) {
+	f := EncodeVelocitySetpoint(1, VelocitySetpoint{})
+	if f.Size() != len(f.Marshal()) {
+		t.Errorf("Size %d != marshaled length %d", f.Size(), len(f.Marshal()))
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(vx, vy, vz, yr float32, seq uint8) bool {
+		if math.IsNaN(float64(vx)) || math.IsNaN(float64(vy)) || math.IsNaN(float64(vz)) || math.IsNaN(float64(yr)) {
+			return true
+		}
+		sp := VelocitySetpoint{Velocity: geom.V3(float64(vx), float64(vy), float64(vz)), YawRate: float64(yr)}
+		parsed, _, err := Unmarshal(EncodeVelocitySetpoint(seq, sp).Marshal())
+		if err != nil {
+			return false
+		}
+		got, err := DecodeVelocitySetpoint(parsed)
+		if err != nil {
+			return false
+		}
+		const eps = 1e-3
+		return math.Abs(got.Velocity.X-sp.Velocity.X) < eps*(1+math.Abs(sp.Velocity.X)) &&
+			math.Abs(got.YawRate-sp.YawRate) < eps*(1+math.Abs(sp.YawRate)) &&
+			parsed.Sequence == seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOversizedPayloadTruncated(t *testing.T) {
+	f := Frame{MessageID: 99, Payload: make([]byte, 400)}
+	raw := f.Marshal()
+	parsed, _, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Payload) != 255 {
+		t.Errorf("payload length = %d, want 255", len(parsed.Payload))
+	}
+}

@@ -1,0 +1,396 @@
+// Package octomap implements a probabilistic occupancy octree, the Go
+// substitute for the OctoMap library (Hornung et al.) that sits at the heart
+// of three MAVBench workloads (package delivery, 3-D mapping, search and
+// rescue) and of the paper's energy case study.
+//
+// The map divides space into voxels of a configurable edge length (the
+// "resolution"), stores a log-odds occupancy estimate per leaf, and exposes
+// the three queries the benchmark pipeline needs: point-cloud insertion with
+// free-space carving along sensor rays, occupancy lookups for collision
+// checking, and unknown-space enumeration for frontier exploration. Coarser
+// resolutions inflate obstacles and cost less to update — the accuracy versus
+// compute trade-off of Figures 17-19.
+package octomap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mavbench/internal/geom"
+)
+
+// Occupancy classifies a point of space.
+type Occupancy int
+
+const (
+	// Unknown means no measurement has touched the voxel yet.
+	Unknown Occupancy = iota
+	// Free means the voxel has been observed empty.
+	Free
+	// Occupied means the voxel has been observed to contain an obstacle.
+	Occupied
+)
+
+// String implements fmt.Stringer.
+func (o Occupancy) String() string {
+	switch o {
+	case Unknown:
+		return "unknown"
+	case Free:
+		return "free"
+	case Occupied:
+		return "occupied"
+	default:
+		return fmt.Sprintf("occupancy(%d)", int(o))
+	}
+}
+
+// Parameters of the log-odds sensor model (the OctoMap defaults).
+const (
+	logOddsHit      = 0.85
+	logOddsMiss     = -0.4
+	logOddsMin      = -2.0
+	logOddsMax      = 3.5
+	occupiedLogOdds = 0.0 // threshold: > 0 means occupied
+)
+
+// Map is the occupancy octree. The implementation stores leaves in a hash map
+// keyed by voxel index, which gives the octree's sparse storage behaviour
+// (only observed space consumes memory) with simpler code; an explicit
+// hierarchy is kept for the coarse "inner node" queries used by planners.
+type Map struct {
+	resolution float64
+	bounds     geom.AABB
+
+	leaves map[voxelKey]float64 // log-odds per observed voxel
+
+	inserts     uint64
+	raysTraced  uint64
+	pointsAdded uint64
+}
+
+type voxelKey struct{ X, Y, Z int32 }
+
+// New creates an empty map covering bounds with the given voxel edge length.
+func New(resolution float64, bounds geom.AABB) *Map {
+	if resolution <= 0 {
+		resolution = 0.15
+	}
+	return &Map{
+		resolution: resolution,
+		bounds:     bounds,
+		leaves:     map[voxelKey]float64{},
+	}
+}
+
+// Resolution returns the voxel edge length in meters.
+func (m *Map) Resolution() float64 { return m.resolution }
+
+// Bounds returns the map's spatial extent.
+func (m *Map) Bounds() geom.AABB { return m.bounds }
+
+// LeafCount returns the number of observed voxels.
+func (m *Map) LeafCount() int { return len(m.leaves) }
+
+// MemoryBytes estimates the map's memory footprint (key + value per leaf).
+func (m *Map) MemoryBytes() int { return len(m.leaves) * (12 + 8) }
+
+// Inserts returns how many point clouds have been integrated.
+func (m *Map) Inserts() uint64 { return m.inserts }
+
+// RaysTraced returns the cumulative number of carved rays.
+func (m *Map) RaysTraced() uint64 { return m.raysTraced }
+
+// PointsAdded returns the cumulative number of endpoint updates.
+func (m *Map) PointsAdded() uint64 { return m.pointsAdded }
+
+func (m *Map) key(p geom.Vec3) voxelKey {
+	return voxelKey{
+		X: int32(math.Floor(p.X / m.resolution)),
+		Y: int32(math.Floor(p.Y / m.resolution)),
+		Z: int32(math.Floor(p.Z / m.resolution)),
+	}
+}
+
+// VoxelCenter returns the center of the voxel containing p.
+func (m *Map) VoxelCenter(p geom.Vec3) geom.Vec3 {
+	k := m.key(p)
+	return geom.Vec3{
+		X: (float64(k.X) + 0.5) * m.resolution,
+		Y: (float64(k.Y) + 0.5) * m.resolution,
+		Z: (float64(k.Z) + 0.5) * m.resolution,
+	}
+}
+
+func (m *Map) update(k voxelKey, delta float64) {
+	v := m.leaves[k] + delta
+	if v > logOddsMax {
+		v = logOddsMax
+	}
+	if v < logOddsMin {
+		v = logOddsMin
+	}
+	m.leaves[k] = v
+}
+
+// MarkOccupied registers an occupied observation at p.
+func (m *Map) MarkOccupied(p geom.Vec3) {
+	if !m.bounds.Contains(p) {
+		return
+	}
+	m.update(m.key(p), logOddsHit)
+	m.pointsAdded++
+}
+
+// MarkFree registers a free observation at p.
+func (m *Map) MarkFree(p geom.Vec3) {
+	if !m.bounds.Contains(p) {
+		return
+	}
+	m.update(m.key(p), logOddsMiss)
+}
+
+// InsertRay carves free space from origin to end and marks the endpoint
+// occupied (the standard OctoMap insertRay).
+func (m *Map) InsertRay(origin, end geom.Vec3, maxRange float64) {
+	dir := end.Sub(origin)
+	dist := dir.Norm()
+	if dist == 0 {
+		return
+	}
+	truncated := false
+	if maxRange > 0 && dist > maxRange {
+		end = origin.Add(dir.Scale(maxRange / dist))
+		dist = maxRange
+		truncated = true
+	}
+	steps := int(dist/m.resolution) + 1
+	for i := 0; i < steps; i++ {
+		t := float64(i) / float64(steps)
+		m.MarkFree(origin.Lerp(end, t))
+	}
+	if !truncated {
+		m.MarkOccupied(end)
+	}
+	m.raysTraced++
+}
+
+// InsertPointCloud integrates a sensor scan: each point carves a free ray
+// from the sensor origin and marks its endpoint occupied.
+func (m *Map) InsertPointCloud(origin geom.Vec3, points []geom.Vec3, maxRange float64) {
+	for _, p := range points {
+		m.InsertRay(origin, p, maxRange)
+	}
+	m.inserts++
+}
+
+// At returns the occupancy classification of point p.
+func (m *Map) At(p geom.Vec3) Occupancy {
+	lo, ok := m.leaves[m.key(p)]
+	if !ok {
+		return Unknown
+	}
+	if lo > occupiedLogOdds {
+		return Occupied
+	}
+	return Free
+}
+
+// OccupancyProbability returns the estimated occupancy probability of p
+// (0.5 for unknown space).
+func (m *Map) OccupancyProbability(p geom.Vec3) float64 {
+	lo, ok := m.leaves[m.key(p)]
+	if !ok {
+		return 0.5
+	}
+	return 1 - 1/(1+math.Exp(lo))
+}
+
+// IsOccupied reports whether p falls in an occupied voxel.
+func (m *Map) IsOccupied(p geom.Vec3) bool { return m.At(p) == Occupied }
+
+// IsFree reports whether p falls in an observed-free voxel.
+func (m *Map) IsFree(p geom.Vec3) bool { return m.At(p) == Free }
+
+// CollidesSphere reports whether a sphere of the given radius centered at p
+// overlaps any occupied voxel. treatUnknownAsOccupied selects conservative
+// behaviour (the planner's default) versus optimistic behaviour.
+func (m *Map) CollidesSphere(p geom.Vec3, radius float64, treatUnknownAsOccupied bool) bool {
+	r := int(math.Ceil(radius/m.resolution)) + 1
+	center := m.key(p)
+	for dx := -r; dx <= r; dx++ {
+		for dy := -r; dy <= r; dy++ {
+			for dz := -r; dz <= r; dz++ {
+				k := voxelKey{center.X + int32(dx), center.Y + int32(dy), center.Z + int32(dz)}
+				vc := geom.Vec3{
+					X: (float64(k.X) + 0.5) * m.resolution,
+					Y: (float64(k.Y) + 0.5) * m.resolution,
+					Z: (float64(k.Z) + 0.5) * m.resolution,
+				}
+				if vc.Dist(p) > radius+m.resolution*0.87 {
+					continue
+				}
+				lo, ok := m.leaves[k]
+				if !ok {
+					if treatUnknownAsOccupied {
+						return true
+					}
+					continue
+				}
+				if lo > occupiedLogOdds {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// SegmentCollides reports whether the straight segment between a and b, swept
+// by a sphere of the given radius, passes through occupied (or, when
+// conservative, unknown) space.
+func (m *Map) SegmentCollides(a, b geom.Vec3, radius float64, treatUnknownAsOccupied bool) bool {
+	dist := a.Dist(b)
+	steps := int(dist/(m.resolution*0.5)) + 1
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		if m.CollidesSphere(a.Lerp(b, t), radius, treatUnknownAsOccupied) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats summarises the map contents.
+type Stats struct {
+	Resolution  float64
+	Leaves      int
+	Occupied    int
+	Free        int
+	MemoryBytes int
+	// KnownVolumeM3 is the total volume of observed voxels.
+	KnownVolumeM3 float64
+	// OccupiedVolumeM3 is the volume of occupied voxels.
+	OccupiedVolumeM3 float64
+}
+
+// Stats computes summary statistics by scanning the leaves.
+func (m *Map) Stats() Stats {
+	s := Stats{Resolution: m.resolution, Leaves: len(m.leaves), MemoryBytes: m.MemoryBytes()}
+	voxVol := m.resolution * m.resolution * m.resolution
+	for _, lo := range m.leaves {
+		if lo > occupiedLogOdds {
+			s.Occupied++
+		} else {
+			s.Free++
+		}
+	}
+	s.KnownVolumeM3 = float64(s.Leaves) * voxVol
+	s.OccupiedVolumeM3 = float64(s.Occupied) * voxVol
+	return s
+}
+
+// KnownFraction estimates how much of the map bounds has been observed,
+// which the 3-D mapping workload uses as its completion criterion.
+func (m *Map) KnownFraction() float64 {
+	vol := m.bounds.Volume()
+	if vol <= 0 {
+		return 0
+	}
+	f := m.Stats().KnownVolumeM3 / vol
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// FrontierCells returns the centers of up to limit free voxels that border
+// unknown space — the frontier the exploration planner samples. A limit of 0
+// means no limit. Results are returned in deterministic (sorted-key) order so
+// missions are reproducible across processes.
+func (m *Map) FrontierCells(limit int) []geom.Vec3 {
+	var out []geom.Vec3
+	neighbours := [6]voxelKey{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
+	keys := make([]voxelKey, 0, len(m.leaves))
+	for k := range m.leaves {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.Z < b.Z
+	})
+	for _, k := range keys {
+		lo := m.leaves[k]
+		if lo > occupiedLogOdds {
+			continue // only free cells can be frontiers
+		}
+		frontier := false
+		for _, d := range neighbours {
+			nk := voxelKey{k.X + d.X, k.Y + d.Y, k.Z + d.Z}
+			if _, known := m.leaves[nk]; !known {
+				// The neighbour must also be inside the map bounds for it to
+				// be worth exploring.
+				nc := geom.Vec3{
+					X: (float64(nk.X) + 0.5) * m.resolution,
+					Y: (float64(nk.Y) + 0.5) * m.resolution,
+					Z: (float64(nk.Z) + 0.5) * m.resolution,
+				}
+				if m.bounds.Contains(nc) {
+					frontier = true
+					break
+				}
+			}
+		}
+		if frontier {
+			out = append(out, geom.Vec3{
+				X: (float64(k.X) + 0.5) * m.resolution,
+				Y: (float64(k.Y) + 0.5) * m.resolution,
+				Z: (float64(k.Z) + 0.5) * m.resolution,
+			})
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Rebuild returns a new map at a different resolution containing the same
+// observations, re-quantised. This is what the dynamic-resolution runtime of
+// the energy case study does when it switches between 0.15 m and 0.80 m.
+func (m *Map) Rebuild(resolution float64) *Map {
+	out := New(resolution, m.bounds)
+	for k, lo := range m.leaves {
+		center := geom.Vec3{
+			X: (float64(k.X) + 0.5) * m.resolution,
+			Y: (float64(k.Y) + 0.5) * m.resolution,
+			Z: (float64(k.Z) + 0.5) * m.resolution,
+		}
+		nk := out.key(center)
+		// Occupied observations dominate free ones when cells merge.
+		if lo > occupiedLogOdds {
+			out.leaves[nk] = math.Max(out.leaves[nk], logOddsMax)
+		} else if _, exists := out.leaves[nk]; !exists {
+			out.leaves[nk] = lo
+		} else if out.leaves[nk] <= occupiedLogOdds {
+			out.leaves[nk] = math.Min(out.leaves[nk], lo)
+		}
+	}
+	out.inserts = m.inserts
+	return out
+}
+
+// Clear removes all observations.
+func (m *Map) Clear() {
+	m.leaves = map[voxelKey]float64{}
+	m.inserts = 0
+	m.raysTraced = 0
+	m.pointsAdded = 0
+}

@@ -1,0 +1,176 @@
+package planning
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"mavbench/internal/geom"
+)
+
+// PRM is a probabilistic-roadmap planner (Kavraki et al.) paired with A*
+// graph search (Hart, Nilsson, Raphael) — the combination the paper names for
+// its planning stage. The roadmap is built per query: MaxIterations samples
+// are drawn, each connected to its k nearest collision-free neighbours, and
+// A* searches the resulting graph.
+type PRM struct {
+	// K is the number of nearest neighbours each milestone connects to.
+	K int
+	// ConnectionRadiusFactor scales the maximum connection distance in units
+	// of Request.StepSize.
+	ConnectionRadiusFactor float64
+}
+
+// Name implements Planner.
+func (p *PRM) Name() string { return "prm" }
+
+// Plan implements Planner.
+func (p *PRM) Plan(req Request, checker CollisionChecker) Result {
+	res := Result{PlannerName: p.Name()}
+	if err := req.Validate(); err != nil {
+		return res
+	}
+	k := p.K
+	if k <= 0 {
+		k = 10
+	}
+	connFactor := p.ConnectionRadiusFactor
+	if connFactor <= 0 {
+		connFactor = 4
+	}
+	maxConn := req.StepSize * connFactor
+	rng := rand.New(rand.NewSource(req.Seed))
+
+	if !checker.PointFree(req.Start, req.Radius) || !checker.PointFree(req.Goal, req.Radius) {
+		res.Checks = checker.Checks()
+		return res
+	}
+
+	// Milestones: start, goal, then random free samples. The sample budget is
+	// a fraction of MaxIterations so that PRM and RRT spend comparable effort.
+	sampleBudget := req.MaxIterations / 8
+	if sampleBudget < 50 {
+		sampleBudget = 50
+	}
+	nodes := []geom.Vec3{req.Start, req.Goal}
+	for i := 0; i < sampleBudget; i++ {
+		res.Iterations++
+		s := sampleBounds(rng, req.Bounds, req.Goal, 0)
+		if checker.PointFree(s, req.Radius) {
+			nodes = append(nodes, s)
+		}
+	}
+
+	// Connect each node to its k nearest neighbours within maxConn.
+	type edge struct {
+		to   int
+		cost float64
+	}
+	adj := make([][]edge, len(nodes))
+	for i := range nodes {
+		type cand struct {
+			j int
+			d float64
+		}
+		var cands []cand
+		for j := range nodes {
+			if i == j {
+				continue
+			}
+			d := nodes[i].Dist(nodes[j])
+			if d <= maxConn {
+				cands = append(cands, cand{j, d})
+			}
+		}
+		// Partial selection sort of the k nearest.
+		for n := 0; n < k && n < len(cands); n++ {
+			best := n
+			for m := n + 1; m < len(cands); m++ {
+				if cands[m].d < cands[best].d {
+					best = m
+				}
+			}
+			cands[n], cands[best] = cands[best], cands[n]
+			j, d := cands[n].j, cands[n].d
+			if checker.SegmentFree(nodes[i], nodes[j], req.Radius) {
+				adj[i] = append(adj[i], edge{to: j, cost: d})
+				adj[j] = append(adj[j], edge{to: i, cost: d})
+			}
+		}
+	}
+
+	// A* from node 0 (start) to node 1 (goal).
+	const startIdx, goalIdx = 0, 1
+	dist := make([]float64, len(nodes))
+	prev := make([]int, len(nodes))
+	closed := make([]bool, len(nodes))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[startIdx] = 0
+	pq := &astarQueue{}
+	heap.Init(pq)
+	heap.Push(pq, astarItem{node: startIdx, priority: nodes[startIdx].Dist(nodes[goalIdx])})
+
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(astarItem)
+		u := item.node
+		if closed[u] {
+			continue
+		}
+		closed[u] = true
+		if u == goalIdx {
+			break
+		}
+		for _, e := range adj[u] {
+			if closed[e.to] {
+				continue
+			}
+			nd := dist[u] + e.cost
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				prev[e.to] = u
+				heap.Push(pq, astarItem{node: e.to, priority: nd + nodes[e.to].Dist(nodes[goalIdx])})
+			}
+		}
+	}
+
+	res.Checks = checker.Checks()
+	if math.IsInf(dist[goalIdx], 1) {
+		return res
+	}
+	var rev []geom.Vec3
+	for i := goalIdx; i >= 0; i = prev[i] {
+		rev = append(rev, nodes[i])
+		if i == startIdx {
+			break
+		}
+	}
+	wps := make([]geom.Vec3, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		wps = append(wps, rev[i])
+	}
+	res.Found = true
+	res.Path = Path{Waypoints: wps}
+	return res
+}
+
+type astarItem struct {
+	node     int
+	priority float64
+}
+
+type astarQueue []astarItem
+
+func (q astarQueue) Len() int           { return len(q) }
+func (q astarQueue) Less(i, j int) bool { return q[i].priority < q[j].priority }
+func (q astarQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *astarQueue) Push(x any)        { *q = append(*q, x.(astarItem)) }
+func (q *astarQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

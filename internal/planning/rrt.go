@@ -1,0 +1,204 @@
+package planning
+
+import (
+	"math/rand"
+
+	"mavbench/internal/geom"
+)
+
+// RRT is the classic rapidly-exploring random tree planner (LaValle 1998):
+// grow a tree from the start by repeatedly extending the nearest node toward
+// a random sample, and stop when the goal region is reached.
+type RRT struct {
+	// GoalBias is the probability of sampling the goal directly.
+	GoalBias float64
+}
+
+// Name implements Planner.
+func (r *RRT) Name() string { return "rrt" }
+
+// Plan implements Planner.
+func (r *RRT) Plan(req Request, checker CollisionChecker) Result {
+	res := Result{PlannerName: r.Name()}
+	if err := req.Validate(); err != nil {
+		return res
+	}
+	goalBias := r.GoalBias
+	if goalBias <= 0 {
+		goalBias = 0.1
+	}
+	rng := rand.New(rand.NewSource(req.Seed))
+
+	if !checker.PointFree(req.Start, req.Radius) {
+		res.Checks = checker.Checks()
+		return res
+	}
+
+	nodes := []geom.Vec3{req.Start}
+	parent := []int{-1}
+	goalIdx := -1
+
+	for it := 0; it < req.MaxIterations; it++ {
+		res.Iterations = it + 1
+		sample := sampleBounds(rng, req.Bounds, req.Goal, goalBias)
+		ni := nearestIndex(nodes, sample)
+		from := nodes[ni]
+		dir := sample.Sub(from)
+		dist := dir.Norm()
+		if dist < 1e-9 {
+			continue
+		}
+		step := req.StepSize
+		if dist < step {
+			step = dist
+		}
+		to := from.Add(dir.Scale(step / dist))
+		if !req.Bounds.Contains(to) {
+			continue
+		}
+		if !checker.SegmentFree(from, to, req.Radius) {
+			continue
+		}
+		nodes = append(nodes, to)
+		parent = append(parent, ni)
+
+		if to.Dist(req.Goal) <= req.GoalTolerance {
+			goalIdx = len(nodes) - 1
+			break
+		}
+		// Try to connect directly to the goal when close.
+		if to.Dist(req.Goal) <= req.StepSize*2 && checker.SegmentFree(to, req.Goal, req.Radius) {
+			nodes = append(nodes, req.Goal)
+			parent = append(parent, len(nodes)-2)
+			goalIdx = len(nodes) - 1
+			break
+		}
+	}
+
+	res.Checks = checker.Checks()
+	if goalIdx < 0 {
+		return res
+	}
+	res.Found = true
+	res.Path = tracePath(nodes, parent, goalIdx)
+	return res
+}
+
+func tracePath(nodes []geom.Vec3, parent []int, leaf int) Path {
+	var rev []geom.Vec3
+	for i := leaf; i >= 0; i = parent[i] {
+		rev = append(rev, nodes[i])
+	}
+	wps := make([]geom.Vec3, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		wps = append(wps, rev[i])
+	}
+	return Path{Waypoints: wps}
+}
+
+// RRTConnect grows two trees, one from the start and one from the goal, and
+// attempts to connect them (Kuffner & LaValle). It usually needs far fewer
+// iterations than plain RRT in cluttered worlds.
+type RRTConnect struct{}
+
+// Name implements Planner.
+func (r *RRTConnect) Name() string { return "rrt_connect" }
+
+// Plan implements Planner.
+func (r *RRTConnect) Plan(req Request, checker CollisionChecker) Result {
+	res := Result{PlannerName: r.Name()}
+	if err := req.Validate(); err != nil {
+		return res
+	}
+	rng := rand.New(rand.NewSource(req.Seed))
+
+	if !checker.PointFree(req.Start, req.Radius) || !checker.PointFree(req.Goal, req.Radius) {
+		res.Checks = checker.Checks()
+		return res
+	}
+
+	type tree struct {
+		nodes  []geom.Vec3
+		parent []int
+	}
+	a := &tree{nodes: []geom.Vec3{req.Start}, parent: []int{-1}}
+	b := &tree{nodes: []geom.Vec3{req.Goal}, parent: []int{-1}}
+
+	extend := func(t *tree, target geom.Vec3) (int, bool) {
+		ni := nearestIndex(t.nodes, target)
+		from := t.nodes[ni]
+		dir := target.Sub(from)
+		dist := dir.Norm()
+		if dist < 1e-9 {
+			return ni, true
+		}
+		step := req.StepSize
+		reached := false
+		if dist <= step {
+			step = dist
+			reached = true
+		}
+		to := from.Add(dir.Scale(step / dist))
+		if !req.Bounds.Contains(to) || !checker.SegmentFree(from, to, req.Radius) {
+			return -1, false
+		}
+		t.nodes = append(t.nodes, to)
+		t.parent = append(t.parent, ni)
+		return len(t.nodes) - 1, reached
+	}
+
+	for it := 0; it < req.MaxIterations; it++ {
+		res.Iterations = it + 1
+		sample := sampleBounds(rng, req.Bounds, req.Goal, 0.05)
+		ai, _ := extend(a, sample)
+		if ai < 0 {
+			a, b = b, a
+			continue
+		}
+		// Greedily connect the other tree toward the new node.
+		target := a.nodes[ai]
+		for {
+			bi, reached := extend(b, target)
+			if bi < 0 {
+				break
+			}
+			if reached {
+				// Trees connected: splice the two half-paths together.
+				pa := tracePath(a.nodes, a.parent, ai)
+				pb := tracePath(b.nodes, b.parent, bi)
+				res.Found = true
+				res.Path = splice(pa, pb, a.nodes[0] == req.Start)
+				res.Checks = checker.Checks()
+				return res
+			}
+		}
+		a, b = b, a
+	}
+	res.Checks = checker.Checks()
+	return res
+}
+
+// splice joins a start-rooted path and a goal-rooted path that meet at their
+// tips. aIsStartTree indicates whether pa belongs to the start tree (the
+// trees are swapped every iteration).
+func splice(pa, pb Path, aIsStartTree bool) Path {
+	reverse := func(w []geom.Vec3) []geom.Vec3 {
+		out := make([]geom.Vec3, len(w))
+		for i := range w {
+			out[i] = w[len(w)-1-i]
+		}
+		return out
+	}
+	var startSide, goalSide []geom.Vec3
+	if aIsStartTree {
+		startSide = pa.Waypoints
+		goalSide = pb.Waypoints
+	} else {
+		startSide = pb.Waypoints
+		goalSide = pa.Waypoints
+	}
+	// startSide runs start..meeting, goalSide runs goal..meeting; reverse the
+	// goal side and drop its duplicated meeting point.
+	joined := append(append([]geom.Vec3(nil), startSide...), reverse(goalSide)[1:]...)
+	return Path{Waypoints: joined}
+}

@@ -1,0 +1,155 @@
+// Package pointcloud converts depth images into 3-D point clouds and
+// provides the filtering operations the perception pipeline applies before
+// occupancy-map insertion.
+//
+// In MAVBench this corresponds to the "Point Cloud Generation" kernel of
+// Table I (the ROS depth_image_proc-style node feeding OctoMap).
+package pointcloud
+
+import (
+	"math"
+
+	"mavbench/internal/geom"
+	"mavbench/internal/sensors"
+)
+
+// Cloud is a set of 3-D points in the world frame together with the sensor
+// origin they were observed from (needed for free-space ray carving during
+// occupancy-map insertion).
+type Cloud struct {
+	Origin    geom.Vec3
+	Points    []geom.Vec3
+	Timestamp float64
+}
+
+// Len returns the number of points.
+func (c *Cloud) Len() int { return len(c.Points) }
+
+// Bounds returns the axis-aligned bounding box of the cloud; ok is false for
+// an empty cloud.
+func (c *Cloud) Bounds() (geom.AABB, bool) {
+	if len(c.Points) == 0 {
+		return geom.AABB{}, false
+	}
+	b := geom.AABB{Min: c.Points[0], Max: c.Points[0]}
+	for _, p := range c.Points[1:] {
+		b = b.Union(geom.AABB{Min: p, Max: p})
+	}
+	return b, true
+}
+
+// Options controls depth-image back-projection.
+type Options struct {
+	// Stride subsamples the depth image: only every Stride-th pixel in each
+	// direction is back-projected. The real pipeline decimates clouds the
+	// same way before OctoMap insertion.
+	Stride int
+	// MaxRange discards returns beyond this distance (0 = keep all finite).
+	MaxRange float64
+	// MinRange discards returns closer than this (sensor self-returns).
+	MinRange float64
+}
+
+// DefaultOptions matches the benchmark configuration: a 8x decimation of the
+// 640x480 depth image bounded to the camera's range.
+func DefaultOptions() Options {
+	return Options{Stride: 8, MaxRange: 20, MinRange: 0.3}
+}
+
+// FromDepthImage back-projects a depth image into a world-frame point cloud
+// using the camera intrinsics it was captured with.
+func FromDepthImage(img *sensors.DepthImage, in sensors.CameraIntrinsics, opts Options) *Cloud {
+	if opts.Stride < 1 {
+		opts.Stride = 1
+	}
+	cloud := &Cloud{Origin: img.Pose.Position, Timestamp: img.Timestamp}
+	hf := in.HorizontalFOV
+	vf := in.VerticalFOV()
+	for v := 0; v < img.Height; v += opts.Stride {
+		pitch := vf * (float64(v)/float64(img.Height-1) - 0.5)
+		for u := 0; u < img.Width; u += opts.Stride {
+			d := img.At(u, v)
+			if math.IsInf(d, 1) || math.IsNaN(d) {
+				continue
+			}
+			if opts.MaxRange > 0 && d > opts.MaxRange {
+				continue
+			}
+			if d < opts.MinRange {
+				continue
+			}
+			az := hf * (float64(u)/float64(img.Width-1) - 0.5)
+			dir := geom.Vec3{
+				X: math.Cos(img.Pose.Yaw+az) * math.Cos(pitch),
+				Y: math.Sin(img.Pose.Yaw+az) * math.Cos(pitch),
+				Z: -math.Sin(pitch),
+			}
+			cloud.Points = append(cloud.Points, img.Pose.Position.Add(dir.Scale(d)))
+		}
+	}
+	return cloud
+}
+
+// VoxelFilter returns a new cloud with at most one point per voxel of the
+// given edge length (the centroid of the points that fell in the voxel).
+// This mirrors the PCL voxel-grid downsampling step used before OctoMap
+// insertion.
+func VoxelFilter(c *Cloud, voxel float64) *Cloud {
+	if voxel <= 0 || c.Len() == 0 {
+		out := &Cloud{Origin: c.Origin, Timestamp: c.Timestamp}
+		out.Points = append(out.Points, c.Points...)
+		return out
+	}
+	type acc struct {
+		sum geom.Vec3
+		n   int
+	}
+	cells := map[[3]int32]*acc{}
+	order := make([][3]int32, 0, len(c.Points))
+	for _, p := range c.Points {
+		key := [3]int32{
+			int32(math.Floor(p.X / voxel)),
+			int32(math.Floor(p.Y / voxel)),
+			int32(math.Floor(p.Z / voxel)),
+		}
+		a, ok := cells[key]
+		if !ok {
+			a = &acc{}
+			cells[key] = a
+			order = append(order, key)
+		}
+		a.sum = a.sum.Add(p)
+		a.n++
+	}
+	out := &Cloud{Origin: c.Origin, Timestamp: c.Timestamp, Points: make([]geom.Vec3, 0, len(cells))}
+	for _, key := range order {
+		a := cells[key]
+		out.Points = append(out.Points, a.sum.Scale(1/float64(a.n)))
+	}
+	return out
+}
+
+// Transform returns the cloud with every point (and the origin) offset by d.
+func Transform(c *Cloud, d geom.Vec3) *Cloud {
+	out := &Cloud{Origin: c.Origin.Add(d), Timestamp: c.Timestamp, Points: make([]geom.Vec3, len(c.Points))}
+	for i, p := range c.Points {
+		out.Points[i] = p.Add(d)
+	}
+	return out
+}
+
+// Merge concatenates several clouds, keeping the first cloud's origin.
+func Merge(clouds ...*Cloud) *Cloud {
+	out := &Cloud{}
+	for i, c := range clouds {
+		if c == nil {
+			continue
+		}
+		if i == 0 {
+			out.Origin = c.Origin
+			out.Timestamp = c.Timestamp
+		}
+		out.Points = append(out.Points, c.Points...)
+	}
+	return out
+}

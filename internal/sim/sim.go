@@ -1,0 +1,424 @@
+// Package sim is the MAVBench closed-loop simulator: it couples the
+// environment, the quadrotor physics, the sensors, the flight controller, the
+// energy/battery models and the ROS-style companion-computer runtime on a
+// single discrete-event timeline.
+//
+// Information flows exactly as in the paper's Figure 3/4: the simulated
+// sensors observe the environment and publish onto topics; the workload's
+// nodes (perception, planning, control) consume them on the core-limited
+// executor, charging virtual compute time; the control stage issues MAVLink
+// velocity commands to the flight controller; the flight controller drives
+// the quadrotor model, which moves through the environment — closing the
+// loop. The energy model integrates rotor plus compute power into the battery
+// at every physics step, and the telemetry recorder accumulates the
+// quality-of-flight metrics.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"mavbench/internal/actuation"
+	"mavbench/internal/compute"
+	"mavbench/internal/des"
+	"mavbench/internal/energy"
+	"mavbench/internal/env"
+	"mavbench/internal/geom"
+	"mavbench/internal/mavlink"
+	"mavbench/internal/physics"
+	"mavbench/internal/ros"
+	"mavbench/internal/sensors"
+	"mavbench/internal/telemetry"
+)
+
+// Topic names on which the simulator publishes sensor data.
+const (
+	TopicDepthImage = "/sensors/depth_image"
+	TopicRGBFrame   = "/sensors/rgb_frame"
+	TopicGPS        = "/sensors/gps"
+	TopicIMU        = "/sensors/imu"
+)
+
+// Config parameterises a closed-loop run.
+type Config struct {
+	Seed int64
+
+	// Platform is the companion computer operating point.
+	Platform compute.Platform
+	// Offload, when non-nil, routes selected kernels to the cloud.
+	Offload *compute.Offloader
+
+	// PhysicsStepS is the integration step of the vehicle model.
+	PhysicsStepS float64
+	// DepthCameraRateHz / RGBCameraRateHz / GPSRateHz / IMURateHz are the
+	// sensor publication rates.
+	DepthCameraRateHz float64
+	RGBCameraRateHz   float64
+	GPSRateHz         float64
+	IMURateHz         float64
+	// DepthRaysX/Y set the depth camera ray-cast grid (and image size) used
+	// in closed-loop runs.
+	DepthRaysX, DepthRaysY int
+	// DepthNoiseStd enables the reliability case study's Gaussian depth
+	// noise.
+	DepthNoiseStd float64
+
+	// VehicleParams configures the airframe; zero value uses defaults.
+	VehicleParams physics.Params
+	// Wind applies a constant/gusty wind field.
+	Wind physics.Wind
+	// FCConfig configures the flight controller; zero value uses defaults.
+	FCConfig actuation.Config
+
+	// MaxMissionTimeS aborts the run after this much virtual time (0 = 1800 s).
+	MaxMissionTimeS float64
+	// KeepTraces enables power/phase time series in the telemetry report.
+	KeepTraces bool
+	// DisableCollisionAbort keeps flying through collisions (used by a few
+	// micro-benchmarks that deliberately graze obstacles).
+	DisableCollisionAbort bool
+}
+
+// DefaultConfig returns the standard closed-loop configuration at the paper's
+// reference operating point.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:              seed,
+		Platform:          compute.DefaultTX2(),
+		PhysicsStepS:      0.02,
+		DepthCameraRateHz: 4,
+		RGBCameraRateHz:   4,
+		GPSRateHz:         10,
+		IMURateHz:         50,
+		DepthRaysX:        48,
+		DepthRaysY:        36,
+		VehicleParams:     physics.DefaultParams(),
+		FCConfig:          actuation.DefaultConfig(),
+		MaxMissionTimeS:   1800,
+	}
+}
+
+// Simulator owns one closed-loop run.
+type Simulator struct {
+	cfg Config
+
+	engine   *des.Engine
+	graph    *ros.Graph
+	world    *env.World
+	vehicle  *physics.Quadrotor
+	fc       *actuation.FlightController
+	cost     *compute.CostModel
+	battery  *energy.Battery
+	power    energy.RotorPowerModel
+	recorder *telemetry.Recorder
+
+	depthCam *sensors.DepthCamera
+	rgbCam   *sensors.RGBCamera
+	gps      *sensors.GPS
+	imu      *sensors.IMU
+
+	seq            uint8
+	commandsIssued uint64
+	missionDone    bool
+	collisions     uint64
+}
+
+// New builds a simulator for the given world and start position.
+func New(cfg Config, world *env.World, start geom.Vec3) (*Simulator, error) {
+	if world == nil {
+		return nil, fmt.Errorf("sim: nil world")
+	}
+	if cfg.PhysicsStepS <= 0 {
+		cfg.PhysicsStepS = 0.02
+	}
+	if cfg.MaxMissionTimeS <= 0 {
+		cfg.MaxMissionTimeS = 1800
+	}
+	if cfg.DepthCameraRateHz <= 0 {
+		cfg.DepthCameraRateHz = 4
+	}
+	if cfg.RGBCameraRateHz <= 0 {
+		cfg.RGBCameraRateHz = 4
+	}
+	if cfg.GPSRateHz <= 0 {
+		cfg.GPSRateHz = 10
+	}
+	if cfg.IMURateHz <= 0 {
+		cfg.IMURateHz = 50
+	}
+	if cfg.DepthRaysX <= 1 {
+		cfg.DepthRaysX = 48
+	}
+	if cfg.DepthRaysY <= 1 {
+		cfg.DepthRaysY = 36
+	}
+	if cfg.VehicleParams.MassKg == 0 {
+		cfg.VehicleParams = physics.DefaultParams()
+	}
+	if err := cfg.VehicleParams.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Platform.Cores == 0 {
+		cfg.Platform = compute.DefaultTX2()
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+
+	engine := des.NewEngine()
+	engine.Horizon = des.Seconds(cfg.MaxMissionTimeS)
+
+	s := &Simulator{
+		cfg:      cfg,
+		engine:   engine,
+		graph:    ros.NewGraph(engine, cfg.Platform.Cores),
+		world:    world,
+		vehicle:  physics.NewQuadrotor(cfg.VehicleParams, start),
+		cost:     compute.NewCostModel(cfg.Platform),
+		battery:  energy.NewMatrice100Battery(),
+		power:    energy.NewRotorPowerModel(cfg.VehicleParams.MassKg),
+		recorder: telemetry.NewRecorder(cfg.KeepTraces),
+		gps:      sensors.NewGPS(cfg.Seed + 101),
+		imu:      sensors.NewIMU(cfg.Seed + 202),
+	}
+	s.vehicle.Wind = cfg.Wind
+	s.fc = actuation.New(cfg.FCConfig, s.vehicle, world.GroundZ)
+
+	// Depth camera: the ray grid is the image (no upsampling in closed-loop
+	// runs; the perception stage decimates anyway).
+	intrinsics := sensors.DefaultIntrinsics()
+	intrinsics.Width = cfg.DepthRaysX
+	intrinsics.Height = cfg.DepthRaysY
+	s.depthCam = &sensors.DepthCamera{Intrinsics: intrinsics, RaysX: cfg.DepthRaysX, RaysY: cfg.DepthRaysY}
+	if cfg.DepthNoiseStd > 0 {
+		s.depthCam.Noise = sensors.NewDepthNoise(cfg.DepthNoiseStd, cfg.Seed+303)
+	}
+	s.rgbCam = sensors.NewRGBCamera()
+
+	// Route executor kernel accounting into the telemetry recorder.
+	s.graph.Executor().SetKernelObserver(func(kernel, node string, cost time.Duration, startT, endT time.Duration) {
+		s.recorder.RecordKernel(kernel, cost)
+	})
+
+	s.scheduleLoops()
+	return s, nil
+}
+
+// Accessors used by workloads and experiments.
+
+// Engine returns the discrete-event engine.
+func (s *Simulator) Engine() *des.Engine { return s.engine }
+
+// Graph returns the ROS node graph.
+func (s *Simulator) Graph() *ros.Graph { return s.graph }
+
+// World returns the environment.
+func (s *Simulator) World() *env.World { return s.world }
+
+// Cost returns the compute cost model of the edge platform.
+func (s *Simulator) Cost() *compute.CostModel { return s.cost }
+
+// Offloader returns the cloud offloader (may be nil).
+func (s *Simulator) Offloader() *compute.Offloader { return s.cfg.Offload }
+
+// KernelTime prices a kernel, routing it through the offloader when one is
+// configured. Payload sizes are used for the network cost of offloaded calls.
+func (s *Simulator) KernelTime(kernel string, edgeCost time.Duration, requestBytes, responseBytes int) time.Duration {
+	if s.cfg.Offload != nil {
+		return s.cfg.Offload.Time(kernel, edgeCost, requestBytes, responseBytes)
+	}
+	return edgeCost
+}
+
+// Recorder returns the telemetry recorder.
+func (s *Simulator) Recorder() *telemetry.Recorder { return s.recorder }
+
+// Battery returns the battery model.
+func (s *Simulator) Battery() *energy.Battery { return s.battery }
+
+// Vehicle returns the quadrotor model (ground truth).
+func (s *Simulator) Vehicle() *physics.Quadrotor { return s.vehicle }
+
+// FlightController returns the FC.
+func (s *Simulator) FlightController() *actuation.FlightController { return s.fc }
+
+// DepthCamera returns the depth camera (e.g. to adjust noise mid-run).
+func (s *Simulator) DepthCamera() *sensors.DepthCamera { return s.depthCam }
+
+// Config returns the simulator configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.engine.NowSeconds() }
+
+// TrueState returns the vehicle's ground-truth state.
+func (s *Simulator) TrueState() physics.State { return s.vehicle.State() }
+
+// VehicleRadius returns the airframe's collision radius.
+func (s *Simulator) VehicleRadius() float64 { return s.cfg.VehicleParams.RadiusM }
+
+// CommandsIssued returns the number of velocity commands sent to the FC.
+func (s *Simulator) CommandsIssued() uint64 { return s.commandsIssued }
+
+// Collisions returns how many collisions were detected.
+func (s *Simulator) Collisions() uint64 { return s.collisions }
+
+// MissionDone reports whether the mission has been completed (or aborted).
+func (s *Simulator) MissionDone() bool { return s.missionDone }
+
+// Arm sends the arm command to the flight controller.
+func (s *Simulator) Arm() error { return s.sendCommand(mavlink.MsgIDCommandArm, 0) }
+
+// Takeoff sends the takeoff command to the flight controller.
+func (s *Simulator) Takeoff() error { return s.sendCommand(mavlink.MsgIDCommandTakeoff, 0) }
+
+// Land sends the land command to the flight controller.
+func (s *Simulator) Land() error { return s.sendCommand(mavlink.MsgIDCommandLand, 0) }
+
+func (s *Simulator) sendCommand(msgID uint8, param float64) error {
+	s.seq++
+	return s.fc.HandleFrame(mavlink.EncodeCommand(s.seq, msgID, param).Marshal())
+}
+
+// IssueVelocity sends a velocity setpoint to the flight controller over the
+// MAVLink link — the "command issue" at the end of the control stage.
+func (s *Simulator) IssueVelocity(vel geom.Vec3, yawRate float64) error {
+	s.seq++
+	s.commandsIssued++
+	frame := mavlink.EncodeVelocitySetpoint(s.seq, mavlink.VelocitySetpoint{Velocity: vel, YawRate: yawRate})
+	return s.fc.HandleFrame(frame.Marshal())
+}
+
+// Hover commands a zero-velocity hold.
+func (s *Simulator) Hover() error { return s.IssueVelocity(geom.Vec3{}, 0) }
+
+// FCMode returns the flight controller's mode.
+func (s *Simulator) FCMode() actuation.Mode { return s.fc.Mode() }
+
+// CompleteMission finalises the mission and stops the engine at the current
+// virtual time.
+func (s *Simulator) CompleteMission(success bool, reason string) {
+	if s.missionDone {
+		return
+	}
+	s.missionDone = true
+	s.recorder.EndMission(s.Now(), success, reason)
+	s.engine.Stop(nil)
+}
+
+// scheduleLoops installs the physics and sensor event loops.
+func (s *Simulator) scheduleLoops() {
+	step := des.Seconds(s.cfg.PhysicsStepS)
+	// Physics (and energy) at high priority so same-instant sensor events see
+	// the updated world.
+	s.engine.SchedulePriority(step, -10, "sim/physics", func(e *des.Engine) { s.physicsStep(e, step) })
+
+	s.engine.Every(des.Seconds(1/s.cfg.DepthCameraRateHz), "sim/depth", func(*des.Engine) { s.publishDepth() })
+	s.engine.Every(des.Seconds(1/s.cfg.RGBCameraRateHz), "sim/rgb", func(*des.Engine) { s.publishRGB() })
+	s.engine.Every(des.Seconds(1/s.cfg.GPSRateHz), "sim/gps", func(*des.Engine) { s.publishGPS() })
+	s.engine.Every(des.Seconds(1/s.cfg.IMURateHz), "sim/imu", func(*des.Engine) { s.publishIMU() })
+}
+
+func (s *Simulator) physicsStep(e *des.Engine, step time.Duration) {
+	if s.missionDone {
+		return
+	}
+	dt := step.Seconds()
+
+	s.fc.Step(dt)
+	state := s.vehicle.Step(dt)
+	s.world.Step(dt)
+
+	// Energy integration: rotors + compute.
+	rotorW := 0.0
+	if state.Airborne {
+		rotorW = s.power.Power(state.Velocity, state.Acceleration, s.vehicle.Wind.At(s.Now()))
+	}
+	util := 0.0
+	if s.graph.Executor().Cores() > 0 {
+		util = float64(s.graph.Executor().Busy()) / float64(s.graph.Executor().Cores())
+	}
+	computeW := s.cfg.Platform.DynamicPowerW(util)
+	s.battery.Drain(rotorW+computeW, dt)
+	s.recorder.AddEnergy(rotorW*dt, computeW*dt)
+	s.recorder.RecordPower(s.Now(), rotorW+computeW)
+	s.recorder.RecordPhase(s.Now(), s.fc.Mode().FlightPhase().String())
+	s.recorder.SampleKinematics(s.Now(), dt, state.Speed(), state.Airborne, s.vehicle.IsHovering(0.2))
+
+	// Failure conditions.
+	if s.battery.Depleted() {
+		s.CompleteMission(false, "battery depleted")
+		return
+	}
+	if !s.cfg.DisableCollisionAbort && state.Airborne {
+		// Only obstacle strikes count as collisions; proximity to the ground
+		// during takeoff/landing and map-boundary excursions do not crash the
+		// vehicle.
+		if d, o := s.world.NearestObstacleDistance(state.Position); o != nil && d <= s.cfg.VehicleParams.RadiusM*0.75 {
+			s.collisions++
+			s.recorder.Count("collisions", 1)
+			s.CompleteMission(false, "collision")
+			return
+		}
+	}
+
+	// Schedule the next step.
+	s.engine.SchedulePriority(e.Now()+step, -10, "sim/physics", func(e *des.Engine) { s.physicsStep(e, step) })
+}
+
+func (s *Simulator) publishDepth() {
+	if s.missionDone {
+		return
+	}
+	img := s.depthCam.Capture(s.world, s.vehicle.State().Pose(), s.Now())
+	s.graph.Topic(TopicDepthImage).Publish(img)
+}
+
+func (s *Simulator) publishRGB() {
+	if s.missionDone {
+		return
+	}
+	frame := s.rgbCam.Capture(s.world, s.vehicle.State().Pose(), s.Now())
+	s.graph.Topic(TopicRGBFrame).Publish(frame)
+}
+
+func (s *Simulator) publishGPS() {
+	if s.missionDone {
+		return
+	}
+	fix := s.gps.Sample(s.world, s.vehicle.State().Position, s.Now())
+	s.graph.Topic(TopicGPS).Publish(fix)
+}
+
+func (s *Simulator) publishIMU() {
+	if s.missionDone {
+		return
+	}
+	reading := s.imu.Sample(s.vehicle.State(), 1/s.cfg.IMURateHz, s.Now())
+	s.graph.Topic(TopicIMU).Publish(reading)
+}
+
+// Run executes the closed loop until the mission completes, the horizon is
+// reached or the event budget (a safety net against runaway loops) is spent.
+// It returns the final QoF report.
+func (s *Simulator) Run() (telemetry.Report, error) {
+	s.recorder.StartMission(s.Now())
+	err := s.engine.Run(50_000_000)
+	if err != nil && err != des.ErrStopped {
+		return s.recorder.Report(s.Now()), err
+	}
+	if !s.missionDone {
+		// Horizon reached without completion.
+		s.recorder.EndMission(s.Now(), false, "mission timeout")
+		s.missionDone = true
+	}
+	return s.recorder.Report(s.Now()), nil
+}
+
+// RunFor advances the closed loop by the given amount of virtual time without
+// requiring mission completion (used by micro-benchmarks).
+func (s *Simulator) RunFor(seconds float64) telemetry.Report {
+	s.recorder.StartMission(s.Now())
+	_ = s.engine.RunUntil(s.engine.Now() + des.Seconds(seconds))
+	return s.recorder.Report(s.Now())
+}

@@ -1,0 +1,271 @@
+// Package slam provides the localization kernels of the MAVBench perception
+// stage.
+//
+// The original benchmark ships three interchangeable localization solutions —
+// a simulated GPS, ORB-SLAM2 and VINS-Mono — plus ground truth. This package
+// reproduces that plug-and-play structure with three Localizer
+// implementations:
+//
+//   - GroundTruth: perfect localization, the paper's "perfect localization
+//     data" option;
+//   - GPSLocalizer: fuses noisy GPS fixes;
+//   - VisualSLAM: an ORB-SLAM2-class emulation that tracks features frame to
+//     frame and, crucially, loses tracking when the scene changes faster than
+//     the kernel can process it. The failure model reproduces the paper's
+//     Figure 8b micro-benchmark: for a bounded failure rate, the achievable
+//     maximum velocity grows with the kernel's frame rate.
+package slam
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mavbench/internal/geom"
+)
+
+// Estimate is a localization output.
+type Estimate struct {
+	Pose geom.Pose
+	// Healthy is false when the localizer has lost tracking and the pose is
+	// unreliable.
+	Healthy bool
+	// Error is the distance between the estimate and ground truth, recorded
+	// for QoF reporting (a real system would not know it).
+	Error     float64
+	Timestamp float64
+}
+
+// Localizer turns ground-truth state plus sensor context into a pose
+// estimate. Implementations model the error characteristics of their
+// real-world counterparts.
+type Localizer interface {
+	// Name identifies the kernel ("gps", "orb_slam2", "ground_truth").
+	Name() string
+	// Localize produces an estimate given the true pose, the true velocity
+	// and the time since the previous invocation.
+	Localize(truth geom.Pose, velocity geom.Vec3, dt, timestamp float64) Estimate
+	// Healthy reports whether tracking is currently intact.
+	Healthy() bool
+	// Reset restores the localizer after a failure (re-initialisation).
+	Reset()
+}
+
+// GroundTruth is a perfect localizer.
+type GroundTruth struct{}
+
+// Name implements Localizer.
+func (GroundTruth) Name() string { return "ground_truth" }
+
+// Localize implements Localizer.
+func (GroundTruth) Localize(truth geom.Pose, _ geom.Vec3, _, timestamp float64) Estimate {
+	return Estimate{Pose: truth, Healthy: true, Timestamp: timestamp}
+}
+
+// Healthy implements Localizer.
+func (GroundTruth) Healthy() bool { return true }
+
+// Reset implements Localizer.
+func (GroundTruth) Reset() {}
+
+// GPSLocalizer produces pose estimates with bounded Gaussian error, the
+// behaviour of fusing a consumer GNSS receiver with the IMU.
+type GPSLocalizer struct {
+	HorizontalStd float64
+	VerticalStd   float64
+	YawStd        float64
+	rng           *rand.Rand
+}
+
+// NewGPSLocalizer returns a GPS-grade localizer.
+func NewGPSLocalizer(seed int64) *GPSLocalizer {
+	return &GPSLocalizer{HorizontalStd: 0.5, VerticalStd: 0.8, YawStd: 0.02, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Localizer.
+func (g *GPSLocalizer) Name() string { return "gps" }
+
+// Localize implements Localizer.
+func (g *GPSLocalizer) Localize(truth geom.Pose, _ geom.Vec3, _, timestamp float64) Estimate {
+	p := geom.Vec3{
+		X: truth.Position.X + g.rng.NormFloat64()*g.HorizontalStd,
+		Y: truth.Position.Y + g.rng.NormFloat64()*g.HorizontalStd,
+		Z: truth.Position.Z + g.rng.NormFloat64()*g.VerticalStd,
+	}
+	pose := geom.NewPose(p, truth.Yaw+g.rng.NormFloat64()*g.YawStd)
+	return Estimate{Pose: pose, Healthy: true, Error: p.Dist(truth.Position), Timestamp: timestamp}
+}
+
+// Healthy implements Localizer.
+func (g *GPSLocalizer) Healthy() bool { return true }
+
+// Reset implements Localizer.
+func (g *GPSLocalizer) Reset() {}
+
+// VisualSLAMConfig tunes the ORB-SLAM2-class emulation.
+type VisualSLAMConfig struct {
+	// FPS is the rate at which the kernel processes frames; it is set by the
+	// compute platform (frames queued faster than this are dropped).
+	FPS float64
+	// MaxPixelDisplacement is the largest apparent inter-frame scene motion
+	// (expressed in meters of camera translation at the nominal scene depth)
+	// the tracker can bridge before losing features.
+	MaxPixelDisplacement float64
+	// DriftPerMeter is the odometry drift accumulated per meter travelled
+	// while tracking is healthy.
+	DriftPerMeter float64
+	// RelocalizationTime is how long re-initialisation takes after a loss.
+	RelocalizationTime float64
+	Seed               int64
+}
+
+// DefaultVisualSLAMConfig returns an ORB-SLAM2-like configuration.
+func DefaultVisualSLAMConfig() VisualSLAMConfig {
+	return VisualSLAMConfig{
+		FPS:                  20,
+		MaxPixelDisplacement: 0.45,
+		DriftPerMeter:        0.01,
+		RelocalizationTime:   2.0,
+		Seed:                 1,
+	}
+}
+
+// VisualSLAM emulates a feature-based visual SLAM kernel.
+type VisualSLAM struct {
+	cfg VisualSLAMConfig
+	rng *rand.Rand
+
+	healthy        bool
+	drift          geom.Vec3
+	relocRemaining float64
+	failures       uint64
+	frames         uint64
+}
+
+// NewVisualSLAM builds the emulated SLAM kernel.
+func NewVisualSLAM(cfg VisualSLAMConfig) *VisualSLAM {
+	if cfg.FPS <= 0 {
+		cfg.FPS = 20
+	}
+	if cfg.MaxPixelDisplacement <= 0 {
+		cfg.MaxPixelDisplacement = 0.45
+	}
+	return &VisualSLAM{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), healthy: true}
+}
+
+// Name implements Localizer.
+func (s *VisualSLAM) Name() string { return "orb_slam2" }
+
+// Healthy implements Localizer.
+func (s *VisualSLAM) Healthy() bool { return s.healthy }
+
+// Failures returns how many tracking losses have occurred.
+func (s *VisualSLAM) Failures() uint64 { return s.failures }
+
+// Frames returns how many frames have been processed.
+func (s *VisualSLAM) Frames() uint64 { return s.frames }
+
+// FailureRate returns failures per processed frame.
+func (s *VisualSLAM) FailureRate() float64 {
+	if s.frames == 0 {
+		return 0
+	}
+	return float64(s.failures) / float64(s.frames)
+}
+
+// Reset implements Localizer: it restores tracking immediately (e.g. after
+// the mission planner commanded a relocalization hold).
+func (s *VisualSLAM) Reset() {
+	s.healthy = true
+	s.relocRemaining = 0
+	s.drift = geom.Vec3{}
+}
+
+// Localize implements Localizer. The failure model: the scene displacement
+// between two processed frames is velocity / FPS; when it exceeds the
+// tracker's displacement budget the probability of losing tracking rises
+// steeply. While unhealthy, the estimate degrades to dead reckoning until the
+// relocalization time has elapsed.
+func (s *VisualSLAM) Localize(truth geom.Pose, velocity geom.Vec3, dt, timestamp float64) Estimate {
+	s.frames++
+	speed := velocity.Norm()
+	interFrame := speed / s.cfg.FPS
+
+	if s.healthy {
+		// Drift grows with distance travelled.
+		travelled := speed * dt
+		s.drift = s.drift.Add(geom.V3(
+			s.rng.NormFloat64()*s.cfg.DriftPerMeter*travelled,
+			s.rng.NormFloat64()*s.cfg.DriftPerMeter*travelled,
+			s.rng.NormFloat64()*s.cfg.DriftPerMeter*travelled*0.5,
+		))
+		// Failure probability: negligible below the displacement budget,
+		// rising steeply beyond it.
+		ratio := interFrame / s.cfg.MaxPixelDisplacement
+		var pFail float64
+		if ratio > 1 {
+			pFail = 1 - math.Exp(-3*(ratio-1))
+		} else if ratio > 0.8 {
+			pFail = 0.02 * (ratio - 0.8) / 0.2
+		}
+		if s.rng.Float64() < pFail*dt*s.cfg.FPS/10 {
+			s.healthy = false
+			s.failures++
+			s.relocRemaining = s.cfg.RelocalizationTime
+		}
+	} else {
+		s.relocRemaining -= dt
+		if s.relocRemaining <= 0 && speed < 1.0 {
+			// Relocalization succeeds once the vehicle slows down.
+			s.healthy = true
+			s.drift = geom.Vec3{}
+		}
+	}
+
+	est := truth.Position.Add(s.drift)
+	if !s.healthy {
+		// While lost, the estimate is stale/diverged: inflate the error.
+		est = est.Add(geom.V3(s.rng.NormFloat64()*2, s.rng.NormFloat64()*2, s.rng.NormFloat64()))
+	}
+	pose := geom.NewPose(est, truth.Yaw)
+	return Estimate{
+		Pose:      pose,
+		Healthy:   s.healthy,
+		Error:     est.Dist(truth.Position),
+		Timestamp: timestamp,
+	}
+}
+
+// New constructs a localizer by kernel name ("ground_truth", "gps",
+// "orb_slam2" / "slam").
+func New(name string, seed int64) (Localizer, error) {
+	switch name {
+	case "ground_truth", "groundtruth", "":
+		return GroundTruth{}, nil
+	case "gps":
+		return NewGPSLocalizer(seed), nil
+	case "orb_slam2", "slam", "vins_mono":
+		cfg := DefaultVisualSLAMConfig()
+		cfg.Seed = seed
+		return NewVisualSLAM(cfg), nil
+	default:
+		return nil, fmt.Errorf("slam: unknown localizer %q", name)
+	}
+}
+
+// MaxVelocityForFailureRate sweeps velocities and returns the highest
+// velocity whose predicted tracking-failure probability per frame stays below
+// the budget, for a SLAM kernel running at the given FPS. This is the
+// analytical form of the paper's Figure 8b micro-benchmark.
+func MaxVelocityForFailureRate(fps, failureBudget, maxPixelDisplacement float64) float64 {
+	if fps <= 0 || maxPixelDisplacement <= 0 {
+		return 0
+	}
+	if failureBudget <= 0 {
+		failureBudget = 0.01
+	}
+	// Invert the failure curve: pFail = 1 - exp(-3 (ratio-1)) <= budget
+	//  => ratio <= 1 - ln(1-budget)/3
+	ratio := 1 - math.Log(1-math.Min(failureBudget, 0.95))/3
+	return ratio * maxPixelDisplacement * fps
+}

@@ -1,0 +1,200 @@
+package slam
+
+import (
+	"math"
+	"testing"
+
+	"mavbench/internal/geom"
+)
+
+func TestGroundTruth(t *testing.T) {
+	var l Localizer = GroundTruth{}
+	truth := geom.NewPose(geom.V3(3, 4, 5), 0.7)
+	est := l.Localize(truth, geom.V3(1, 0, 0), 0.05, 1)
+	if est.Pose != truth || !est.Healthy || est.Error != 0 {
+		t.Errorf("ground truth estimate = %+v", est)
+	}
+	if l.Name() != "ground_truth" || !l.Healthy() {
+		t.Error("accessors")
+	}
+	l.Reset() // no-op, must not panic
+}
+
+func TestGPSLocalizerBoundedError(t *testing.T) {
+	l := NewGPSLocalizer(3)
+	truth := geom.NewPose(geom.V3(10, -5, 8), 0)
+	var worst float64
+	for i := 0; i < 200; i++ {
+		est := l.Localize(truth, geom.Vec3{}, 0.05, float64(i))
+		if !est.Healthy {
+			t.Fatal("GPS localizer should always be healthy")
+		}
+		if est.Error > worst {
+			worst = est.Error
+		}
+		if est.Error != est.Pose.Position.Dist(truth.Position) {
+			t.Fatal("Error field inconsistent")
+		}
+	}
+	if worst == 0 {
+		t.Error("GPS estimates should be noisy")
+	}
+	if worst > 6 {
+		t.Errorf("GPS error %v unreasonably large", worst)
+	}
+	if l.Name() != "gps" || !l.Healthy() {
+		t.Error("accessors")
+	}
+}
+
+func TestVisualSLAMSlowFlightStaysHealthy(t *testing.T) {
+	cfg := DefaultVisualSLAMConfig()
+	cfg.Seed = 5
+	s := NewVisualSLAM(cfg)
+	truth := geom.NewPose(geom.V3(0, 0, 5), 0)
+	for i := 0; i < 2000; i++ {
+		truth.Position.X += 1.0 * 0.05 // 1 m/s
+		est := s.Localize(truth, geom.V3(1, 0, 0), 0.05, float64(i)*0.05)
+		if !est.Healthy {
+			t.Fatalf("tracking lost at slow speed (frame %d)", i)
+		}
+	}
+	if s.FailureRate() != 0 {
+		t.Errorf("failure rate = %v at 1 m/s with 20 FPS", s.FailureRate())
+	}
+	if s.Frames() != 2000 {
+		t.Errorf("Frames = %d", s.Frames())
+	}
+}
+
+func TestVisualSLAMFastFlightLosesTracking(t *testing.T) {
+	cfg := DefaultVisualSLAMConfig()
+	cfg.FPS = 2 // heavily throttled kernel (low compute)
+	cfg.Seed = 7
+	s := NewVisualSLAM(cfg)
+	truth := geom.NewPose(geom.V3(0, 0, 5), 0)
+	lost := false
+	for i := 0; i < 2000; i++ {
+		truth.Position.X += 8.0 * 0.05 // 8 m/s
+		est := s.Localize(truth, geom.V3(8, 0, 0), 0.05, float64(i)*0.05)
+		if !est.Healthy {
+			lost = true
+			break
+		}
+	}
+	if !lost {
+		t.Error("a 2 FPS SLAM kernel should lose tracking at 8 m/s")
+	}
+	if s.Failures() == 0 {
+		t.Error("failure counter not incremented")
+	}
+}
+
+func TestVisualSLAMRelocalizesWhenSlow(t *testing.T) {
+	cfg := DefaultVisualSLAMConfig()
+	cfg.FPS = 2
+	cfg.Seed = 11
+	cfg.RelocalizationTime = 0.5
+	s := NewVisualSLAM(cfg)
+	truth := geom.NewPose(geom.V3(0, 0, 5), 0)
+	// Force a failure by flying fast.
+	for i := 0; i < 5000 && s.Healthy(); i++ {
+		truth.Position.X += 9.0 * 0.05
+		s.Localize(truth, geom.V3(9, 0, 0), 0.05, 0)
+	}
+	if s.Healthy() {
+		t.Skip("failure was not triggered with this seed")
+	}
+	// Hover: relocalization should succeed after the configured time.
+	for i := 0; i < 100 && !s.Healthy(); i++ {
+		s.Localize(truth, geom.Vec3{}, 0.05, 0)
+	}
+	if !s.Healthy() {
+		t.Error("SLAM did not relocalize while hovering")
+	}
+}
+
+func TestVisualSLAMErrorLargerWhenLost(t *testing.T) {
+	cfg := DefaultVisualSLAMConfig()
+	cfg.FPS = 1
+	cfg.Seed = 13
+	s := NewVisualSLAM(cfg)
+	truth := geom.NewPose(geom.V3(0, 0, 5), 0)
+	var healthyErr, lostErr float64
+	for i := 0; i < 4000; i++ {
+		truth.Position.X += 9.0 * 0.05
+		est := s.Localize(truth, geom.V3(9, 0, 0), 0.05, 0)
+		if est.Healthy {
+			healthyErr = math.Max(healthyErr, est.Error)
+		} else {
+			lostErr = math.Max(lostErr, est.Error)
+		}
+	}
+	if lostErr == 0 {
+		t.Skip("no failure triggered")
+	}
+	if lostErr <= healthyErr {
+		t.Errorf("lost-tracking error %v should exceed healthy error %v", lostErr, healthyErr)
+	}
+}
+
+func TestVisualSLAMReset(t *testing.T) {
+	s := NewVisualSLAM(DefaultVisualSLAMConfig())
+	s.healthy = false
+	s.relocRemaining = 10
+	s.Reset()
+	if !s.Healthy() {
+		t.Error("Reset should restore health")
+	}
+	if s.Name() != "orb_slam2" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestNewFactory(t *testing.T) {
+	for _, name := range []string{"", "ground_truth", "gps", "orb_slam2", "slam", "vins_mono"} {
+		l, err := New(name, 1)
+		if err != nil || l == nil {
+			t.Errorf("New(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := New("magic", 1); err == nil {
+		t.Error("unknown localizer should fail")
+	}
+}
+
+func TestMaxVelocityForFailureRateGrowsWithFPS(t *testing.T) {
+	// The Figure 8b relationship: more SLAM throughput permits faster flight
+	// at a bounded failure rate.
+	budget := 0.2
+	disp := DefaultVisualSLAMConfig().MaxPixelDisplacement
+	prev := 0.0
+	for _, fps := range []float64{1, 2, 4, 6, 8, 10} {
+		v := MaxVelocityForFailureRate(fps, budget, disp)
+		if v <= prev {
+			t.Fatalf("max velocity %v at %v FPS is not above %v", v, fps, prev)
+		}
+		prev = v
+	}
+	// The range should be physically sensible: single-digit m/s.
+	if prev < 2 || prev > 15 {
+		t.Errorf("max velocity at 10 FPS = %.1f m/s, want a single-digit figure", prev)
+	}
+	// Degenerate inputs.
+	if MaxVelocityForFailureRate(0, budget, disp) != 0 {
+		t.Error("zero FPS should give zero velocity")
+	}
+	if MaxVelocityForFailureRate(10, budget, 0) != 0 {
+		t.Error("zero displacement budget should give zero velocity")
+	}
+	if MaxVelocityForFailureRate(10, 0, disp) <= 0 {
+		t.Error("zero failure budget should fall back to a small positive default")
+	}
+}
+
+func TestDefaultConfigClamping(t *testing.T) {
+	s := NewVisualSLAM(VisualSLAMConfig{})
+	if s.cfg.FPS <= 0 || s.cfg.MaxPixelDisplacement <= 0 {
+		t.Error("zero-value config should be clamped to usable defaults")
+	}
+}

@@ -1,0 +1,147 @@
+// Package tracking provides the object-tracking kernel of the Aerial
+// Photography workload: a KCF-class correlation tracker emulation.
+//
+// MAVBench runs two tracker instances — a buffered one (higher quality,
+// 80 ms) and a real-time one (18 ms) — that follow the person between
+// detector invocations. The emulation models the properties the closed loop
+// depends on: the tracker follows the target's bounding box as long as the
+// inter-frame motion stays within its search window, loses lock beyond it or
+// when the target leaves the frame, and is re-initialised from the next
+// detection.
+package tracking
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mavbench/internal/compute"
+	"mavbench/internal/sensors"
+)
+
+// Mode selects between the benchmark's buffered and real-time tracker
+// instances.
+type Mode int
+
+const (
+	// ModeBuffered is the higher-quality, higher-latency instance.
+	ModeBuffered Mode = iota
+	// ModeRealTime is the low-latency instance.
+	ModeRealTime
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeBuffered:
+		return "buffered"
+	case ModeRealTime:
+		return "realtime"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// KernelName returns the compute kernel identifier for the mode.
+func (m Mode) KernelName() string {
+	if m == ModeRealTime {
+		return compute.KernelTrackRealTime
+	}
+	return compute.KernelTrackBuffered
+}
+
+// Result is the tracker output for one frame.
+type Result struct {
+	Box     sensors.BoundingBox
+	Locked  bool
+	Frames  uint64 // frames since the last (re-)initialisation
+	Drifted bool   // true when lock was lost this frame
+}
+
+// Tracker is a KCF-class tracker emulation.
+type Tracker struct {
+	Mode Mode
+	// SearchWindowPx is the largest inter-frame displacement (pixels) the
+	// tracker can follow.
+	SearchWindowPx float64
+	// JitterPx perturbs the reported box.
+	JitterPx float64
+
+	rng        *rand.Rand
+	locked     bool
+	box        sensors.BoundingBox
+	frames     uint64
+	losses     uint64
+	lastCenter struct{ u, v float64 }
+}
+
+// New returns a tracker in the given mode. The buffered instance searches a
+// wider window (it can afford a bigger correlation filter), the real-time one
+// a narrower window with less jitter.
+func New(mode Mode, seed int64) *Tracker {
+	t := &Tracker{Mode: mode, rng: rand.New(rand.NewSource(seed))}
+	if mode == ModeBuffered {
+		t.SearchWindowPx = 120
+		t.JitterPx = 4
+	} else {
+		t.SearchWindowPx = 60
+		t.JitterPx = 2
+	}
+	return t
+}
+
+// Locked reports whether the tracker currently has a target.
+func (t *Tracker) Locked() bool { return t.locked }
+
+// Losses returns how many times lock was lost.
+func (t *Tracker) Losses() uint64 { return t.losses }
+
+// Init (re-)initialises the tracker with a detection box.
+func (t *Tracker) Init(box sensors.BoundingBox) {
+	t.box = box
+	t.locked = true
+	t.frames = 0
+	c := box.Center()
+	t.lastCenter.u, t.lastCenter.v = c.X, c.Y
+}
+
+// Update advances the tracker with a new frame. The frame's ground-truth
+// objects stand in for the image content: if the tracked label is present and
+// its center moved less than the search window since the last frame, the
+// tracker follows it; otherwise it loses lock.
+func (t *Tracker) Update(frame *sensors.Frame) Result {
+	if !t.locked {
+		return Result{Locked: false}
+	}
+	t.frames++
+
+	// Find the object matching the tracked label.
+	var target *sensors.BoundingBox
+	for i := range frame.Objects {
+		if frame.Objects[i].Label == t.box.Label {
+			target = &frame.Objects[i]
+			break
+		}
+	}
+	if target == nil {
+		t.locked = false
+		t.losses++
+		return Result{Locked: false, Drifted: true, Frames: t.frames}
+	}
+	c := target.Center()
+	du := c.X - t.lastCenter.u
+	dv := c.Y - t.lastCenter.v
+	if du*du+dv*dv > t.SearchWindowPx*t.SearchWindowPx {
+		t.locked = false
+		t.losses++
+		return Result{Locked: false, Drifted: true, Frames: t.frames}
+	}
+
+	box := *target
+	box.MinU += t.rng.NormFloat64() * t.JitterPx
+	box.MaxU += t.rng.NormFloat64() * t.JitterPx
+	box.MinV += t.rng.NormFloat64() * t.JitterPx
+	box.MaxV += t.rng.NormFloat64() * t.JitterPx
+	t.box = box
+	t.lastCenter.u, t.lastCenter.v = c.X, c.Y
+	return Result{Box: box, Locked: true, Frames: t.frames}
+}

@@ -1,0 +1,117 @@
+package tracking
+
+import (
+	"testing"
+
+	"mavbench/internal/compute"
+	"mavbench/internal/sensors"
+)
+
+func frameWithBoxAt(u float64) *sensors.Frame {
+	return &sensors.Frame{
+		Intrinsics: sensors.DefaultIntrinsics(),
+		Objects: []sensors.BoundingBox{
+			{MinU: u - 20, MaxU: u + 20, MinV: 200, MaxV: 280, Label: "subject", Distance: 12},
+		},
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeBuffered.String() != "buffered" || ModeRealTime.String() != "realtime" {
+		t.Error("mode strings")
+	}
+	if Mode(7).String() == "" {
+		t.Error("unknown mode should still stringify")
+	}
+	if ModeBuffered.KernelName() != compute.KernelTrackBuffered {
+		t.Error("buffered kernel name")
+	}
+	if ModeRealTime.KernelName() != compute.KernelTrackRealTime {
+		t.Error("realtime kernel name")
+	}
+}
+
+func TestTrackerFollowsSlowTarget(t *testing.T) {
+	tr := New(ModeRealTime, 1)
+	f := frameWithBoxAt(320)
+	tr.Init(f.Objects[0])
+	if !tr.Locked() {
+		t.Fatal("tracker should be locked after Init")
+	}
+	// Move the target 10 px per frame: well within the search window.
+	for i := 1; i <= 20; i++ {
+		r := tr.Update(frameWithBoxAt(320 + float64(i)*10))
+		if !r.Locked {
+			t.Fatalf("lost lock at frame %d", i)
+		}
+		if r.Frames != uint64(i) {
+			t.Errorf("frame counter = %d, want %d", r.Frames, i)
+		}
+	}
+	if tr.Losses() != 0 {
+		t.Errorf("Losses = %d", tr.Losses())
+	}
+}
+
+func TestTrackerLosesFastTarget(t *testing.T) {
+	tr := New(ModeRealTime, 1)
+	f := frameWithBoxAt(100)
+	tr.Init(f.Objects[0])
+	// Jump 300 px in one frame: beyond the real-time search window.
+	r := tr.Update(frameWithBoxAt(400))
+	if r.Locked {
+		t.Error("tracker should lose a target jumping beyond its search window")
+	}
+	if !r.Drifted {
+		t.Error("Drifted flag not set")
+	}
+	if tr.Losses() != 1 {
+		t.Errorf("Losses = %d", tr.Losses())
+	}
+	// Once lost, updates report unlocked until re-initialised.
+	if tr.Update(frameWithBoxAt(400)).Locked {
+		t.Error("tracker should stay lost until re-initialised")
+	}
+	tr.Init(frameWithBoxAt(400).Objects[0])
+	if !tr.Update(frameWithBoxAt(405)).Locked {
+		t.Error("re-initialised tracker should lock again")
+	}
+}
+
+func TestBufferedTrackerHasWiderWindow(t *testing.T) {
+	buffered := New(ModeBuffered, 1)
+	realtime := New(ModeRealTime, 1)
+	if buffered.SearchWindowPx <= realtime.SearchWindowPx {
+		t.Error("buffered tracker should search a wider window")
+	}
+
+	// A 100 px jump: buffered follows, real-time loses.
+	f0 := frameWithBoxAt(200)
+	buffered.Init(f0.Objects[0])
+	realtime.Init(f0.Objects[0])
+	f1 := frameWithBoxAt(300)
+	if !buffered.Update(f1).Locked {
+		t.Error("buffered tracker should follow a 100 px jump")
+	}
+	if realtime.Update(f1).Locked {
+		t.Error("real-time tracker should lose a 100 px jump")
+	}
+}
+
+func TestTrackerLosesTargetLeavingFrame(t *testing.T) {
+	tr := New(ModeBuffered, 1)
+	f := frameWithBoxAt(320)
+	tr.Init(f.Objects[0])
+	empty := &sensors.Frame{Intrinsics: sensors.DefaultIntrinsics()}
+	r := tr.Update(empty)
+	if r.Locked {
+		t.Error("tracker should lose a target that left the frame")
+	}
+}
+
+func TestUpdateWithoutInit(t *testing.T) {
+	tr := New(ModeRealTime, 1)
+	if tr.Update(frameWithBoxAt(320)).Locked {
+		t.Error("un-initialised tracker should not be locked")
+	}
+}

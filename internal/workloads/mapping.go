@@ -1,0 +1,178 @@
+package workloads
+
+import (
+	"time"
+
+	"mavbench/internal/compute"
+	"mavbench/internal/core"
+	"mavbench/internal/des"
+	"mavbench/internal/env"
+	"mavbench/internal/geom"
+	"mavbench/internal/planning"
+	"mavbench/internal/ros"
+	"mavbench/internal/sim"
+)
+
+// Mapping3D is the exploration workload: build a 3-D occupancy map of an
+// unknown bounded area. The mission loop alternates between frontier
+// selection (the expensive next-best-view planning kernel), flying to the
+// selected viewpoint and integrating new depth data, until a target fraction
+// of the volume is known or no frontier remains.
+type Mapping3D struct{}
+
+func init() { core.Register(Mapping3D{}) }
+
+// Name implements core.Workload.
+func (Mapping3D) Name() string { return "mapping_3d" }
+
+// Description implements core.Workload.
+func (Mapping3D) Description() string {
+	return "explore and build a 3-D occupancy map of an unknown bounded area"
+}
+
+// World implements core.Workload.
+func (Mapping3D) World(p core.Params) (*env.World, geom.Vec3, error) {
+	p = p.Normalize()
+	w := buildEnvironment(p, "disaster", func() *env.World {
+		cfg := env.DefaultDisasterConfig(p.Seed)
+		cfg.Width *= p.WorldScale
+		cfg.Depth *= p.WorldScale
+		cfg.SurvivorCount = 0
+		return env.NewDisasterWorld(cfg)
+	})
+	start := geom.V3(w.Bounds.Min.X+4, w.Bounds.Min.Y+4, 0)
+	return w, start, nil
+}
+
+// Setup implements core.Workload.
+func (Mapping3D) Setup(s *sim.Simulator, p core.Params) error {
+	return setupExploration(s, p, explorationConfig{
+		targetKnownFraction: mappingTarget(p),
+		onFrame:             nil,
+		stopOnDetection:     false,
+	})
+}
+
+// mappingTarget is the fraction of the bounded volume that must be observed
+// for the mapping mission to count as complete. The drone's front-facing
+// depth camera can only ever observe the lower altitude band of the volume,
+// so the target is modest; coverage saturation (no further growth) also ends
+// the mission.
+func mappingTarget(p core.Params) float64 {
+	if p.WorldScale > 0 && p.WorldScale < 0.5 {
+		return 0.10
+	}
+	return 0.15
+}
+
+// explorationConfig parameterises the shared exploration mission used by the
+// 3-D mapping and search-and-rescue workloads.
+type explorationConfig struct {
+	// targetKnownFraction ends the mission when the map covers this fraction
+	// of the bounded volume.
+	targetKnownFraction float64
+	// onFrame, when non-nil, is invoked for every RGB frame (search and
+	// rescue hooks its detector here); it returns true when the mission goal
+	// (e.g. survivor found) has been reached.
+	onFrame func(nav *navigator, msg ros.Message) (found bool, result ros.CallbackResult)
+	// stopOnDetection ends the mission when onFrame reports found.
+	stopOnDetection bool
+}
+
+func setupExploration(s *sim.Simulator, p core.Params, cfg explorationConfig) error {
+	p = p.Normalize()
+	nav, err := newNavigator(s, p)
+	if err != nil {
+		return err
+	}
+
+	exploring := false
+	noFrontier := 0
+	lastKnown := 0.0
+	lastKnownChange := 0.0
+
+	// Optional per-frame hook (object detection for SAR).
+	if cfg.onFrame != nil {
+		s.Graph().Node("object_detection").Subscribe(sim.TopicRGBFrame, 1, func(now time.Duration, msg ros.Message) ros.CallbackResult {
+			found, res := cfg.onFrame(nav, msg)
+			if found && cfg.stopOnDetection && !s.MissionDone() {
+				s.Recorder().Count("target_found", 1)
+				landAndFinish(s, true, "")
+			}
+			return res
+		})
+	}
+
+	selectNextViewpoint := func() {
+		if exploring || nav.planning || s.MissionDone() {
+			return
+		}
+		exploring = true
+		_ = s.Hover()
+		s.Graph().Executor().Submit("frontier_exploration", func(now time.Duration) ros.CallbackResult {
+			res := planning.SelectFrontier(planning.FrontierRequest{
+				Map:               nav.octo,
+				Current:           nav.pose().Position,
+				Radius:            s.VehicleRadius(),
+				MaxCandidates:     300,
+				MinGoalDistance:   3,
+				Floor:             s.World().Bounds.Min.Z + 1,
+				Ceiling:           s.World().Bounds.Max.Z - 1,
+				InformationRadius: s.DepthCamera().Intrinsics.MaxRange / 2,
+			})
+			cost := s.Cost().MustKernelTime(compute.KernelFrontierExplore)
+			total := s.KernelTime(compute.KernelFrontierExplore, cost, nav.octo.MemoryBytes()/4, 16*1024)
+			if res.Exhausted {
+				noFrontier++
+			} else if res.Found {
+				noFrontier = 0
+				goal := res.Goal
+				// Keep exploration goals at a safe altitude band.
+				if goal.Z < s.World().Bounds.Min.Z+1.5 {
+					goal.Z = s.World().Bounds.Min.Z + 1.5
+				}
+				nav.planTo(goal, nil)
+				s.Recorder().Count("exploration_goals", 1)
+			}
+			return ros.CallbackResult{Cost: total, Kernel: compute.KernelFrontierExplore}
+		}, func() {
+			exploring = false
+		})
+	}
+
+	// Mission supervisor: check completion, trigger the next viewpoint when
+	// idle.
+	s.Engine().Every(des.Seconds(1), "mapping/mission", func(*des.Engine) {
+		if s.MissionDone() || s.FCMode().String() != "offboard" {
+			return
+		}
+		known := nav.mapKnownFraction()
+		s.Recorder().Observe("map_known_fraction", known)
+		// Track coverage progress: once the known volume stops growing the
+		// reachable space has effectively been mapped, even if the volumetric
+		// target (which includes unreachable air high above the rubble) was
+		// not hit.
+		if known > lastKnown+0.002 {
+			lastKnown = known
+			lastKnownChange = s.Now()
+		} else if lastKnownChange == 0 {
+			lastKnownChange = s.Now()
+		}
+		saturated := s.Now()-lastKnownChange > 90 && s.Recorder().Started() && known > 0.02
+		if known >= cfg.targetKnownFraction || noFrontier >= 3 || saturated {
+			if !cfg.stopOnDetection {
+				landAndFinish(s, true, "")
+			} else {
+				// Search and rescue without a detection: the area is swept,
+				// but the target was never found.
+				landAndFinish(s, false, "area mapped without finding the target")
+			}
+			return
+		}
+		if !nav.tracker.Active() && !nav.planning && !exploring {
+			selectNextViewpoint()
+		}
+	})
+
+	return startFlight(s, func() { selectNextViewpoint() })
+}

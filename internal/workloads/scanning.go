@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"time"
+
+	"mavbench/internal/compute"
+	"mavbench/internal/control"
+	"mavbench/internal/core"
+	"mavbench/internal/des"
+	"mavbench/internal/env"
+	"mavbench/internal/geom"
+	"mavbench/internal/planning"
+	"mavbench/internal/ros"
+	"mavbench/internal/sim"
+)
+
+// Scanning is the agricultural survey workload: the MAV covers a rectangular
+// field with a lawnmower path at a fixed altitude while collecting sensor
+// data. Planning happens once at mission start (its cost is amortised over
+// the mission, which is why the paper observes almost no compute sensitivity
+// for this workload).
+type Scanning struct{}
+
+func init() { core.Register(Scanning{}) }
+
+// Name implements core.Workload.
+func (Scanning) Name() string { return "scanning" }
+
+// Description implements core.Workload.
+func (Scanning) Description() string {
+	return "survey a rectangular field with a lawnmower coverage path"
+}
+
+// World implements core.Workload.
+func (Scanning) World(p core.Params) (*env.World, geom.Vec3, error) {
+	scale := p.WorldScale
+	cfg := env.DefaultFarmConfig(p.Seed)
+	cfg.Width *= scale
+	cfg.Depth *= scale
+	w := buildEnvironment(p, "farm", func() *env.World { return env.NewFarmWorld(cfg) })
+	start := geom.V3(w.Bounds.Min.X+5, w.Bounds.Min.Y+5, 0)
+	return w, start, nil
+}
+
+// Setup implements core.Workload.
+func (Scanning) Setup(s *sim.Simulator, p core.Params) error {
+	p = p.Normalize()
+	tracker := control.NewTracker(control.DefaultTrackerConfig())
+	// Survey above the tallest obstacles (agricultural scans assume an
+	// obstacle-free altitude, as the paper notes).
+	altitude := 20.0
+	if ceiling := s.World().Bounds.Max.Z - 5; altitude > ceiling {
+		altitude = ceiling
+	}
+	for _, o := range s.World().Obstacles() {
+		if o.Box.Max.Z+3 > altitude {
+			altitude = o.Box.Max.Z + 3
+		}
+	}
+	area := s.World().Bounds
+	surveyArea := geom.NewAABB(
+		geom.V3(area.Min.X+5, area.Min.Y+5, 0),
+		geom.V3(area.Max.X-5, area.Max.Y-5, 0),
+	)
+	spacing := 18.0 * clampScale(p.WorldScale)
+	if spacing < 6 {
+		spacing = 6
+	}
+
+	// Control loop: track the coverage trajectory.
+	s.Engine().Every(des.Seconds(0.1), "scanning/control", func(*des.Engine) {
+		s.Graph().Executor().Submit("path_tracking", func(now time.Duration) ros.CallbackResult {
+			if s.MissionDone() {
+				return ros.CallbackResult{Kernel: compute.KernelPathTracking}
+			}
+			cmd, done := tracker.Update(s.TrueState().Pose(), s.Now())
+			switch {
+			case done:
+				landAndFinish(s, true, "")
+			case cmd.Hover:
+				_ = s.Hover()
+			default:
+				_ = s.IssueVelocity(cmd.Velocity, cmd.YawRate)
+			}
+			return ros.CallbackResult{
+				Cost:   s.Cost().MustKernelTime(compute.KernelPathTracking),
+				Kernel: compute.KernelPathTracking,
+			}
+		}, nil)
+	})
+
+	// Mission: take off, plan the lawnmower path once, follow it, land.
+	return startFlight(s, func() {
+		s.Graph().Executor().Submit("mission_planner", func(now time.Duration) ros.CallbackResult {
+			path := planning.Lawnmower(planning.LawnmowerRequest{
+				Area:     surveyArea,
+				Altitude: altitude,
+				Spacing:  spacing,
+				Start:    s.TrueState().Position,
+			})
+			opts := planning.DefaultSmoothingOptions()
+			opts.MaxVelocity = s.Vehicle().Params.MaxHorizontalVelocity * 0.75
+			opts.MaxAcceleration = s.Vehicle().Params.MaxAcceleration
+			traj := planning.Smooth(path, opts)
+			tracker.SetTrajectory(traj, s.Now())
+			s.Recorder().Count("coverage_path_length_m", path.Length())
+			return ros.CallbackResult{
+				Cost:   s.Cost().MustKernelTime(compute.KernelLawnmower),
+				Kernel: compute.KernelLawnmower,
+			}
+		}, nil)
+	})
+}
+
+// buildEnvironment honours the Environment override in Params, falling back
+// to the workload's default generator.
+func buildEnvironment(p core.Params, def string, build func() *env.World) *env.World {
+	name := p.Environment
+	if name == "" {
+		name = def
+	}
+	scale := clampScale(p.WorldScale)
+	switch name {
+	case "urban":
+		cfg := env.DefaultUrbanConfig(p.Seed)
+		cfg.Width *= scale
+		cfg.Depth *= scale
+		return env.NewUrbanWorld(cfg)
+	case "indoor":
+		cfg := env.DefaultIndoorConfig(p.Seed)
+		cfg.Width *= scale
+		cfg.Depth *= scale
+		return env.NewIndoorWorld(cfg)
+	case "farm":
+		cfg := env.DefaultFarmConfig(p.Seed)
+		cfg.Width *= scale
+		cfg.Depth *= scale
+		return env.NewFarmWorld(cfg)
+	case "disaster":
+		cfg := env.DefaultDisasterConfig(p.Seed)
+		cfg.Width *= scale
+		cfg.Depth *= scale
+		return env.NewDisasterWorld(cfg)
+	case "park":
+		cfg := env.DefaultPhotographyConfig(p.Seed)
+		cfg.Width *= scale
+		cfg.Depth *= scale
+		w, _ := env.NewPhotographyWorld(cfg)
+		return w
+	case "empty":
+		return env.BoundedEmptyWorld(100*scale, 40, p.Seed)
+	default:
+		return build()
+	}
+}
+
+func clampScale(s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return s
+}

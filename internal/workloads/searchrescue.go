@@ -1,0 +1,73 @@
+package workloads
+
+import (
+	"mavbench/internal/core"
+	"mavbench/internal/detection"
+	"mavbench/internal/env"
+	"mavbench/internal/geom"
+	"mavbench/internal/ros"
+	"mavbench/internal/sensors"
+	"mavbench/internal/sim"
+)
+
+// SearchAndRescue augments the 3-D mapping exploration loop with an object
+// detection kernel in the perception stage: the MAV explores the unknown
+// disaster area until the survivor is detected (or the whole area has been
+// swept without success).
+type SearchAndRescue struct{}
+
+func init() { core.Register(SearchAndRescue{}) }
+
+// Name implements core.Workload.
+func (SearchAndRescue) Name() string { return "search_and_rescue" }
+
+// Description implements core.Workload.
+func (SearchAndRescue) Description() string {
+	return "explore a disaster area until a survivor is detected"
+}
+
+// World implements core.Workload.
+func (SearchAndRescue) World(p core.Params) (*env.World, geom.Vec3, error) {
+	p = p.Normalize()
+	w := buildEnvironment(p, "disaster", func() *env.World {
+		cfg := env.DefaultDisasterConfig(p.Seed)
+		cfg.Width *= p.WorldScale
+		cfg.Depth *= p.WorldScale
+		return env.NewDisasterWorld(cfg)
+	})
+	start := geom.V3(w.Bounds.Min.X+4, w.Bounds.Min.Y+4, 0)
+	return w, start, nil
+}
+
+// Setup implements core.Workload.
+func (SearchAndRescue) Setup(s *sim.Simulator, p core.Params) error {
+	p = p.Normalize()
+	detectorName := p.Detector
+	if detectorName == "" || detectorName == "yolo" {
+		// The paper's SAR configuration uses the HOG people detector.
+		detectorName = "hog"
+	}
+	det, err := detection.New(detectorName, p.Seed+17)
+	if err != nil {
+		return err
+	}
+
+	onFrame := func(nav *navigator, msg ros.Message) (bool, ros.CallbackResult) {
+		frame := msg.(*sensors.Frame)
+		dets := det.Detect(frame)
+		cost := s.Cost().DetectionTime(det.KernelName(), frame.Intrinsics.Pixels())
+		res := ros.CallbackResult{Cost: cost, Kernel: det.KernelName()}
+		if best, ok := detection.BestDetection(dets, "survivor"); ok {
+			s.Recorder().Count("detections", 1)
+			s.Recorder().Observe("detection_distance_m", best.Box.Distance)
+			return true, res
+		}
+		return false, res
+	}
+
+	return setupExploration(s, p, explorationConfig{
+		targetKnownFraction: mappingTarget(p) + 0.2,
+		onFrame:             onFrame,
+		stopOnDetection:     true,
+	})
+}
