@@ -11,9 +11,13 @@
 package mavbench_test
 
 import (
+	"context"
+	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
+	"mavbench/internal/compute"
 	"mavbench/internal/core"
 	"mavbench/internal/experiments"
 	_ "mavbench/internal/workloads"
@@ -70,7 +74,7 @@ func BenchmarkFig9a_PowerBreakdown(b *testing.B) {
 func BenchmarkFig9b_MissionPowerTimeline(b *testing.B) {
 	var flyPower float64
 	for i := 0; i < b.N; i++ {
-		rows, _ := experiments.Fig9b()
+		rows, _ := experiments.Fig9b(benchScale())
 		for _, r := range rows {
 			if r.Phase == "flying" && r.VelocityMPS == 10 {
 				flyPower = r.MeanPowerW
@@ -247,6 +251,52 @@ func BenchmarkTable2_SensorNoise(b *testing.B) {
 	if len(rows) == 4 && rows[0].MissionTimeS > 0 {
 		b.ReportMetric(rows[3].MissionTimeS/rows[0].MissionTimeS, "mission_time_growth_x")
 		b.ReportMetric(rows[3].FailureRatePct, "failure_rate_pct@1.5m")
+	}
+}
+
+// BenchmarkSweepEngine measures the parallel sweep engine on a
+// FullScale-shaped sweep (the paper's full 3x3 operating-point grid) at one
+// worker versus one worker per CPU. The workers=1 case executes the same
+// runs strictly sequentially (note: with per-point derived seeds, not the
+// pre-engine behavior of one shared seed); the speedup of the workers=N
+// sub-benchmark over it is the engine's contribution. Results are asserted
+// identical across the two pool sizes on every iteration, so this doubles
+// as a determinism check under benchmark load.
+func BenchmarkSweepEngine(b *testing.B) {
+	sc := benchScale()
+	points := compute.PaperOperatingPoints()
+	base := core.Params{
+		Workload:        "scanning",
+		Seed:            101,
+		Localizer:       "ground_truth",
+		WorldScale:      sc.WorldScale,
+		MaxMissionTimeS: sc.MaxMissionTimeS,
+	}
+	reference, err := core.Runner{Workers: 1}.Sweep(context.Background(), base, points)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := core.Runner{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				results, err := r.Sweep(context.Background(), base, points)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Verify outside the timed region so the serialization cost
+				// does not dilute the measured speedup.
+				b.StopTimer()
+				if len(results) != len(points) {
+					b.Fatalf("got %d results for %d points", len(results), len(points))
+				}
+				if fmt.Sprintf("%+v", results) != fmt.Sprintf("%+v", reference) {
+					b.Fatal("parallel sweep diverged from the sequential reference")
+				}
+				b.StartTimer()
+			}
+		})
 	}
 }
 

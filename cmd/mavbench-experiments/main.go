@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"mavbench/internal/core"
@@ -18,12 +19,14 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run the full-scale configuration (9 operating points, repeats)")
 	only := flag.String("only", "", "comma-separated experiment ids to run (fig2,fig8a,fig8b,fig9a,fig9b,table1,fig10-14,fig15,fig16,fig17,fig18,fig19,table2)")
+	workers := flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS); results are identical at any worker count")
 	flag.Parse()
 
 	sc := experiments.QuickScale()
 	if *full {
 		sc = experiments.FullScale()
 	}
+	sc.Workers = *workers
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -56,7 +59,7 @@ func main() {
 		fmt.Println(tbl)
 	}
 	if want("fig9b") {
-		_, tbl := experiments.Fig9b()
+		_, tbl := experiments.Fig9b(sc)
 		fmt.Println(tbl)
 	}
 	if want("table1") {
@@ -73,8 +76,13 @@ func main() {
 			fmt.Println(tbl)
 		}
 		fmt.Println("== Summary: best vs worst operating point ==")
-		for wl, c := range cells {
-			s := experiments.Summarize(wl, c)
+		workloads := make([]string, 0, len(cells))
+		for wl := range cells {
+			workloads = append(workloads, wl)
+		}
+		sort.Strings(workloads)
+		for _, wl := range workloads {
+			s := experiments.Summarize(wl, cells[wl])
 			fmt.Printf("%-22s mission-time speedup %.2fX, energy reduction %.2fX, velocity gain %.2fX\n",
 				wl, s.MissionTimeSpeedup, s.EnergyReduction, s.VelocityGain)
 		}

@@ -1,9 +1,15 @@
 // Command mavbench-sweep runs one workload across the paper's TX2 operating
 // points (cores × frequency) and prints the heat-map data of Figures 10-14 as
 // CSV.
+//
+// The sweep executes on the core.Runner worker pool; -workers bounds the
+// pool (0 = one worker per available CPU). Results are identical at any
+// worker count — per-run seeds are derived from the operating point, not
+// from scheduling order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +24,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	scale := flag.Float64("world-scale", 0.45, "environment scale factor")
 	maxTime := flag.Float64("max-mission-time", 900, "mission time limit per run (seconds)")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	base := core.Params{
@@ -27,18 +34,16 @@ func main() {
 		WorldScale:      *scale,
 		MaxMissionTimeS: *maxTime,
 	}
+	runner := core.Runner{Workers: *workers}
+	results, err := runner.Sweep(context.Background(), base, compute.PaperOperatingPoints())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mavbench-sweep:", err)
+		os.Exit(1)
+	}
 	fmt.Println("workload,cores,freq_ghz,avg_velocity_mps,mission_time_s,energy_kj,hover_time_s,success")
-	for _, pt := range compute.PaperOperatingPoints() {
-		p := base
-		p.Cores = pt.Cores
-		p.FreqGHz = pt.FreqGHz
-		res, err := core.Run(p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mavbench-sweep:", err)
-			os.Exit(1)
-		}
+	for _, res := range results {
 		r := res.Report
 		fmt.Printf("%s,%d,%.1f,%.2f,%.1f,%.1f,%.1f,%v\n",
-			*workload, pt.Cores, pt.FreqGHz, r.AverageSpeed, r.MissionTimeS, r.TotalEnergyKJ, r.HoverTimeS, r.Success)
+			*workload, res.Params.Cores, res.Params.FreqGHz, r.AverageSpeed, r.MissionTimeS, r.TotalEnergyKJ, r.HoverTimeS, r.Success)
 	}
 }

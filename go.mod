@@ -1,0 +1,3 @@
+module mavbench
+
+go 1.22

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -108,6 +109,11 @@ func (p Params) OperatingPoint() compute.OperatingPoint {
 // Workload is a benchmark application. Implementations construct their
 // environment and wire their perception-planning-control node graph onto the
 // simulator; the runner owns everything else.
+//
+// A single registered instance serves every run, and a Runner pool calls
+// World and Setup from multiple goroutines concurrently — implementations
+// must keep per-run state on the simulator (or local to the call), not on
+// the Workload value.
 type Workload interface {
 	// Name is the registry key ("scanning", "package_delivery", ...).
 	Name() string
@@ -168,6 +174,10 @@ type Result struct {
 	Params Params
 	// PlatformName identifies the simulated companion computer.
 	PlatformName string
+	// Err is set when the run failed or panicked inside a Runner pool; the
+	// Report is zero in that case. Direct Run calls report errors through
+	// their error return instead.
+	Err error `json:"-"`
 }
 
 // Run executes one benchmark run described by p.
@@ -213,18 +223,9 @@ func Run(p Params) (Result, error) {
 
 // RunSweep executes the same workload across a set of operating points,
 // returning results in the same order. This is the primitive behind the
-// paper's Figures 10-15 heat maps.
+// paper's Figures 10-15 heat maps. Runs execute on a Runner worker pool
+// sized to runtime.GOMAXPROCS(0); use Runner.Sweep directly to control the
+// pool size or to cancel mid-sweep.
 func RunSweep(base Params, points []compute.OperatingPoint) ([]Result, error) {
-	results := make([]Result, 0, len(points))
-	for _, pt := range points {
-		p := base
-		p.Cores = pt.Cores
-		p.FreqGHz = pt.FreqGHz
-		r, err := Run(p)
-		if err != nil {
-			return results, fmt.Errorf("core: sweep point %v: %w", pt, err)
-		}
-		results = append(results, r)
-	}
-	return results, nil
+	return Runner{}.Sweep(context.Background(), base, points)
 }

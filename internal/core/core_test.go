@@ -2,6 +2,7 @@ package core
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"mavbench/internal/compute"
@@ -12,8 +13,10 @@ import (
 )
 
 type fakeWorkload struct {
-	name     string
-	setupRan bool
+	name string
+	// setupRan is atomic because one registered Workload instance serves
+	// every concurrent run of a Runner pool.
+	setupRan atomic.Bool
 }
 
 func (f *fakeWorkload) Name() string        { return f.name }
@@ -22,7 +25,7 @@ func (f *fakeWorkload) World(p Params) (*env.World, geom.Vec3, error) {
 	return env.BoundedEmptyWorld(40, 20, p.Seed), geom.V3(0, 0, 0), nil
 }
 func (f *fakeWorkload) Setup(s *sim.Simulator, p Params) error {
-	f.setupRan = true
+	f.setupRan.Store(true)
 	s.Engine().Schedule(des.Seconds(1), "fake/finish", func(*des.Engine) {
 		s.CompleteMission(true, "")
 	})
@@ -118,7 +121,7 @@ func TestRunWithFakeWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !fw.setupRan {
+	if !fw.setupRan.Load() {
 		t.Error("Setup never ran")
 	}
 	if !res.Report.Success {

@@ -1,9 +1,11 @@
 // Package des implements the discrete-event simulation engine that drives
 // every MAVBench run.
 //
-// The original MAVBench executes its benchmark applications in real time on a
-// hardware-in-the-loop NVIDIA TX2 while AirSim/Unreal simulate the vehicle on
-// a host PC. This reproduction replaces wall-clock time with a deterministic
+// The original MAVBench (Boroujerdian et al., MICRO 2018, Section III)
+// executes its benchmark applications in real time on a hardware-in-the-loop
+// NVIDIA TX2 while AirSim/Unreal simulate the vehicle on a host PC
+// (the paper's Figure 5 setup). This reproduction replaces wall-clock time
+// with a deterministic
 // virtual clock: everything that happens — physics integration steps, sensor
 // publications, compute-kernel executions, actuation commands, battery
 // updates — is an event on a single timeline. Compute cost is charged in

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mavbench/internal/compute"
@@ -27,28 +28,35 @@ func Fig16(sc Scale) ([]Fig16Row, Table, error) {
 		Notes:   "paper: ~3X faster planning and up to ~2X shorter mission with cloud support",
 	}
 	var rows []Fig16Row
-	for _, cloud := range []bool{false, true} {
+	configs := []struct {
+		name  string
+		cloud bool
+	}{
+		{"edge (TX2)", false},
+		{"sensor-cloud (1 Gb/s)", true},
+	}
+	runs := make([]core.Params, len(configs))
+	for i, c := range configs {
 		p := sc.baseParams("mapping_3d", 211)
-		p.CloudOffload = cloud
-		res, err := core.Run(p)
-		if err != nil {
-			return rows, t, err
-		}
+		p.CloudOffload = c.cloud
+		runs[i] = p
+	}
+	results, err := sc.Runner().RunAll(context.Background(), runs)
+	if err != nil {
+		return rows, t, err
+	}
+	for i, res := range results {
 		planning := res.Report.KernelTime[compute.KernelFrontierExplore].Seconds() +
 			res.Report.KernelTime[compute.KernelShortestPath].Seconds()
-		name := "edge (TX2)"
-		if cloud {
-			name = "sensor-cloud (1 Gb/s)"
-		}
 		row := Fig16Row{
-			Configuration: name,
+			Configuration: configs[i].name,
 			FlightTimeS:   res.Report.MissionTimeS,
 			PlanningTimeS: planning,
 			EnergyKJ:      res.Report.TotalEnergyKJ,
 			Success:       res.Report.Success,
 		}
 		rows = append(rows, row)
-		t.Rows = append(t.Rows, []string{name, f1(row.FlightTimeS), f1(row.PlanningTimeS), f1(row.EnergyKJ), fmt.Sprint(row.Success)})
+		t.Rows = append(t.Rows, []string{configs[i].name, f1(row.FlightTimeS), f1(row.PlanningTimeS), f1(row.EnergyKJ), fmt.Sprint(row.Success)})
 	}
 	return rows, t, nil
 }
@@ -85,6 +93,12 @@ func Fig19(sc Scale) ([]Fig19Row, Table, error) {
 		{"static 0.80 m", 0.80, false},
 		{"dynamic 0.15/0.80 m", 0.15, true},
 	}
+	type cellMeta struct {
+		workload string
+		policy   string
+	}
+	var runs []core.Params
+	var metas []cellMeta
 	for _, wl := range workloads {
 		for _, pol := range policies {
 			p := sc.baseParams(wl, 307)
@@ -92,24 +106,28 @@ func Fig19(sc Scale) ([]Fig19Row, Table, error) {
 			p.OctomapResolution = pol.fine
 			p.DynamicResolution = pol.dynamic
 			p.CoarseResolution = 0.80
-			res, err := core.Run(p)
-			if err != nil {
-				return rows, t, err
-			}
-			// Remaining battery: the battery pack is integrated inside the
-			// simulator; approximate remaining charge from the consumed
-			// energy against the pack's usable energy.
-			remaining := batteryRemainingPercent(res.Report.TotalEnergyKJ)
-			row := Fig19Row{
-				Workload:         wl,
-				Policy:           pol.name,
-				FlightTimeS:      res.Report.MissionTimeS,
-				BatteryRemaining: remaining,
-				Success:          res.Report.Success,
-			}
-			rows = append(rows, row)
-			t.Rows = append(t.Rows, []string{wl, pol.name, f1(row.FlightTimeS), f1(row.BatteryRemaining), fmt.Sprint(row.Success)})
+			runs = append(runs, p)
+			metas = append(metas, cellMeta{workload: wl, policy: pol.name})
 		}
+	}
+	results, err := sc.Runner().RunAll(context.Background(), runs)
+	if err != nil {
+		return rows, t, err
+	}
+	for i, res := range results {
+		// Remaining battery: the battery pack is integrated inside the
+		// simulator; approximate remaining charge from the consumed
+		// energy against the pack's usable energy.
+		remaining := batteryRemainingPercent(res.Report.TotalEnergyKJ)
+		row := Fig19Row{
+			Workload:         metas[i].workload,
+			Policy:           metas[i].policy,
+			FlightTimeS:      res.Report.MissionTimeS,
+			BatteryRemaining: remaining,
+			Success:          res.Report.Success,
+		}
+		rows = append(rows, row)
+		t.Rows = append(t.Rows, []string{row.Workload, row.Policy, f1(row.FlightTimeS), f1(row.BatteryRemaining), fmt.Sprint(row.Success)})
 	}
 	return rows, t, nil
 }
@@ -147,17 +165,25 @@ func Table2(sc Scale) ([]Table2Row, Table, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
-	for _, std := range []float64{0, 0.5, 1.0, 1.5} {
+	stds := []float64{0, 0.5, 1.0, 1.5}
+	// One flat run list: every repeat of every noise level executes on the
+	// same worker pool; seeds come from the repeat index, so the statistics
+	// are identical at any worker count.
+	var runs []core.Params
+	for _, std := range stds {
+		base := sc.baseParams("package_delivery", 401)
+		base.DepthNoiseStd = std
+		runs = append(runs, core.RepeatParams(base, repeats)...)
+	}
+	results, err := sc.Runner().RunAll(context.Background(), runs)
+	if err != nil {
+		return rows, t, err
+	}
+	for si, std := range stds {
 		failures := 0
 		var sumReplans, sumTime float64
 		successes := 0
-		for r := 0; r < repeats; r++ {
-			p := sc.baseParams("package_delivery", 401+int64(r))
-			p.DepthNoiseStd = std
-			res, err := core.Run(p)
-			if err != nil {
-				return rows, t, err
-			}
+		for _, res := range results[si*repeats : (si+1)*repeats] {
 			if !res.Report.Success {
 				failures++
 				continue

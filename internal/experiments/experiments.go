@@ -31,6 +31,15 @@ type Scale struct {
 	// OperatingPoints are the compute operating points swept for the heat
 	// maps.
 	OperatingPoints []compute.OperatingPoint
+	// Workers bounds the worker pool the sweeps run on (<= 0 selects
+	// runtime.GOMAXPROCS(0)). Results are identical at any worker count;
+	// only wall-clock time changes.
+	Workers int
+}
+
+// Runner returns the parallel execution engine configured for this scale.
+func (sc Scale) Runner() core.Runner {
+	return core.Runner{Workers: sc.Workers}
 }
 
 // QuickScale is a reduced configuration for unit tests: small worlds, few

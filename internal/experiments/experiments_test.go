@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -109,7 +111,7 @@ func TestFig9a(t *testing.T) {
 }
 
 func TestFig9b(t *testing.T) {
-	rows, _ := Fig9b()
+	rows, _ := Fig9b(tinyScale())
 	if len(rows) == 0 {
 		t.Fatal("no Fig9b rows")
 	}
@@ -208,6 +210,37 @@ func TestWorkloadSweepQuick(t *testing.T) {
 	rows, tbl := Fig15(map[string][]core.Result{"scanning": raw})
 	if len(rows) == 0 || len(tbl.Rows) != len(rows) {
 		t.Fatalf("Fig15 rows = %d", len(rows))
+	}
+}
+
+// TestSweepDeterminismAcrossWorkerCounts guards the engine's seed-derivation
+// contract end to end: a real closed-loop workload sweep must produce
+// identical results whether it runs on one worker or eight.
+func TestSweepDeterminismAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop sweep is slow")
+	}
+	sc := tinyScale()
+	sc.OperatingPoints = []compute.OperatingPoint{
+		{Cores: 2, FreqGHz: compute.TX2FreqLowGHz},
+		{Cores: 4, FreqGHz: compute.TX2FreqHighGHz},
+	}
+	run := func(workers int) []core.Result {
+		s := sc
+		s.Workers = workers
+		_, raw, err := WorkloadSweep(s, "scanning", 17)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return raw
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sweep diverges across worker counts:\n%+v\nvs\n%+v", seq, par)
+	}
+	if fmt.Sprintf("%+v", seq) != fmt.Sprintf("%+v", par) {
+		t.Fatal("formatted sweep results differ across worker counts")
 	}
 }
 

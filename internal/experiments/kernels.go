@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"mavbench/internal/compute"
@@ -31,15 +33,22 @@ func Table1(sc Scale) ([]Table1Row, Table) {
 		Notes:   "measured values are mean per-invocation kernel times from closed-loop runs",
 	}
 	reports := map[string]telemetry.Report{}
-	for _, wl := range compute.Table1Workloads() {
+	workloads := compute.Table1Workloads()
+	runs := make([]core.Params, len(workloads))
+	for i, wl := range workloads {
 		p := sc.baseParams(wl, 1)
 		p.Cores = 4
 		p.FreqGHz = compute.TX2FreqHighGHz
-		res, err := core.Run(p)
-		if err != nil {
+		runs[i] = p
+	}
+	// Workloads that fail to run simply keep their table cells at zero, as
+	// before; the joined error is deliberately ignored.
+	results, _ := sc.Runner().RunAll(context.Background(), runs)
+	for i, res := range results {
+		if res.Err != nil {
 			continue
 		}
-		reports[wl] = res.Report
+		reports[workloads[i]] = res.Report
 	}
 	for _, entry := range compute.PaperTable1() {
 		rep, ok := reports[entry.Workload]
@@ -79,13 +88,18 @@ func Fig15(sweeps map[string][]core.Result) ([]Fig15Row, Table) {
 			continue
 		}
 		for _, res := range results {
-			for kernel, mean := range res.Report.KernelMean {
+			kernels := make([]string, 0, len(res.Report.KernelMean))
+			for kernel := range res.Report.KernelMean {
+				kernels = append(kernels, kernel)
+			}
+			sort.Strings(kernels)
+			for _, kernel := range kernels {
 				row := Fig15Row{
 					Workload: wl,
 					Kernel:   kernel,
 					Cores:    res.Params.Cores,
 					FreqGHz:  res.Params.FreqGHz,
-					MeanMs:   float64(mean.Microseconds()) / 1000,
+					MeanMs:   float64(res.Report.KernelMean[kernel].Microseconds()) / 1000,
 				}
 				rows = append(rows, row)
 				t.Rows = append(t.Rows, []string{wl, kernel, fmt.Sprint(row.Cores), f1(row.FreqGHz), f1(row.MeanMs)})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mavbench/internal/des"
@@ -133,15 +134,28 @@ type Fig9bRow struct {
 }
 
 // Fig9b reproduces Figure 9b: total power over a scripted mission (arm, take
-// off, hover, cruise, land) at steady-state velocities of 5 and 10 m/s.
-func Fig9b() ([]Fig9bRow, Table) {
+// off, hover, cruise, land) at steady-state velocities of 5 and 10 m/s. The
+// two missions fly concurrently on the scale's worker pool.
+func Fig9b(sc Scale) ([]Fig9bRow, Table) {
 	var rows []Fig9bRow
 	t := Table{
 		Title:   "Figure 9b: mission power by phase at 5 and 10 m/s",
 		Columns: []string{"velocity_mps", "phase", "mean_power_w", "duration_s"},
 	}
-	for _, v := range []float64{5, 10} {
-		phases := scriptedMissionPower(v)
+	// The two velocity profiles are independent missions; fly them
+	// concurrently and emit the rows in velocity order. The pool can only
+	// fail by recovering a panic in scriptedMissionPower, which used to
+	// crash loudly — keep it loud rather than returning a silently
+	// incomplete figure.
+	velocities := []float64{5, 10}
+	perVelocity := make([][]Fig9bRow, len(velocities))
+	if err := sc.Runner().Parallel(context.Background(), len(velocities), func(i int) error {
+		perVelocity[i] = scriptedMissionPower(velocities[i])
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	for _, phases := range perVelocity {
 		for _, r := range phases {
 			rows = append(rows, r)
 			t.Rows = append(t.Rows, []string{f1(r.VelocityMPS), r.Phase, f1(r.MeanPowerW), f1(r.DurationS)})

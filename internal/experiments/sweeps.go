@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mavbench/internal/compute"
@@ -23,11 +24,12 @@ type HeatMapCell struct {
 	Success     bool
 }
 
-// WorkloadSweep runs one workload across the scale's operating points and
-// returns both the heat-map cells and the raw results (reused by Figure 15).
+// WorkloadSweep runs one workload across the scale's operating points on the
+// scale's worker pool and returns both the heat-map cells and the raw results
+// (reused by Figure 15).
 func WorkloadSweep(sc Scale, workload string, seed int64) ([]HeatMapCell, []core.Result, error) {
 	base := sc.baseParams(workload, seed)
-	results, err := core.RunSweep(base, sc.OperatingPoints)
+	results, err := sc.Runner().Sweep(context.Background(), base, sc.OperatingPoints)
 	if err != nil {
 		return nil, nil, err
 	}

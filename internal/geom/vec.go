@@ -2,6 +2,13 @@
 // MAVBench: vectors, poses, axis-aligned boxes, rays and segments, together
 // with the handful of numeric helpers the simulator and planners need.
 //
+// It is the numeric substrate beneath the paper's entire
+// perception-planning-control pipeline (MAVBench, Boroujerdian et al.,
+// MICRO 2018, Section III): the ray casts here feed the simulated depth
+// camera, the swept-segment tests back the collision checks of the Table I
+// planning kernels, and the pose algebra carries state between the
+// pipeline's stages.
+//
 // All types are plain values; the package has no dependencies beyond the
 // standard library and performs no allocation in its hot paths.
 package geom

@@ -1,7 +1,10 @@
 // Package octomap implements a probabilistic occupancy octree, the Go
 // substitute for the OctoMap library (Hornung et al.) that sits at the heart
 // of three MAVBench workloads (package delivery, 3-D mapping, search and
-// rescue) and of the paper's energy case study.
+// rescue). It is the paper's "occupancy_map_generation" kernel of Table I,
+// and the knob the energy case study turns (MAVBench, Boroujerdian et al.,
+// MICRO 2018, Section VI: Figures 17-19 trade map resolution against
+// perception fidelity, processing time and battery life).
 //
 // The map divides space into voxels of a configurable edge length (the
 // "resolution"), stores a log-odds occupancy estimate per leaf, and exposes

@@ -1,5 +1,8 @@
 // Package planning provides the motion-planning kernels of the MAVBench
-// planning stage.
+// planning stage — the "motion_planning_*" and "smoothening" rows of the
+// paper's Table I kernel profile (MAVBench, Boroujerdian et al., MICRO 2018,
+// Section IV), whose runtimes dominate several workloads' sensitivity to the
+// compute operating point in the Figure 10-15 sweeps.
 //
 // It is the Go counterpart of the planning components the paper assembles
 // from OMPL and companion ROS packages:

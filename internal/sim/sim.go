@@ -3,7 +3,8 @@
 // energy/battery models and the ROS-style companion-computer runtime on a
 // single discrete-event timeline.
 //
-// Information flows exactly as in the paper's Figure 3/4: the simulated
+// Information flows exactly as in Figures 3 and 4 of the paper (MAVBench,
+// Boroujerdian et al., MICRO 2018, Section III): the simulated
 // sensors observe the environment and publish onto topics; the workload's
 // nodes (perception, planning, control) consume them on the core-limited
 // executor, charging virtual compute time; the control stage issues MAVLink

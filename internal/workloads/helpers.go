@@ -1,0 +1,29 @@
+package workloads
+
+import (
+	"math"
+
+	"mavbench/internal/env"
+	"mavbench/internal/geom"
+)
+
+// findClearSpot returns a point near the preferred location that is not
+// occupied, spiralling outward if necessary. Every workload whose start
+// position is a fixed corner of the world must pass it through this helper:
+// world generators place obstacles wherever the run's seed sends them, and
+// the sweep engine derives seeds arbitrarily, so no fixed point is safe for
+// all seeds.
+func findClearSpot(w *env.World, preferred geom.Vec3, clearance float64) geom.Vec3 {
+	if !w.Occupied(geom.V3(preferred.X, preferred.Y, 2), clearance) {
+		return preferred
+	}
+	for r := 5.0; r < 80; r += 5 {
+		for a := 0.0; a < 6.28; a += 0.5 {
+			c := geom.V3(preferred.X+r*math.Cos(a), preferred.Y+r*math.Sin(a), 2)
+			if w.Bounds.Contains(c) && !w.Occupied(c, clearance) {
+				return geom.V3(c.X, c.Y, preferred.Z)
+			}
+		}
+	}
+	return preferred
+}

@@ -1,8 +1,6 @@
 package workloads
 
 import (
-	"math"
-
 	"mavbench/internal/core"
 	"mavbench/internal/des"
 	"mavbench/internal/env"
@@ -43,23 +41,6 @@ func (PackageDelivery) World(p core.Params) (*env.World, geom.Vec3, error) {
 	start := findClearSpot(w, geom.V3(w.Bounds.Min.X*0.7, w.Bounds.Min.Y*0.7, 0), 2.0)
 	start.Z = 0
 	return w, start, nil
-}
-
-// findClearSpot returns a point near the preferred location that is not
-// occupied, spiralling outward if necessary.
-func findClearSpot(w *env.World, preferred geom.Vec3, clearance float64) geom.Vec3 {
-	if !w.Occupied(geom.V3(preferred.X, preferred.Y, 2), clearance) {
-		return preferred
-	}
-	for r := 5.0; r < 80; r += 5 {
-		for a := 0.0; a < 6.28; a += 0.5 {
-			c := geom.V3(preferred.X+r*math.Cos(a), preferred.Y+r*math.Sin(a), 2)
-			if w.Bounds.Contains(c) && !w.Occupied(c, clearance) {
-				return geom.V3(c.X, c.Y, preferred.Z)
-			}
-		}
-	}
-	return preferred
 }
 
 // Setup implements core.Workload.

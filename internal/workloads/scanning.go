@@ -38,7 +38,7 @@ func (Scanning) World(p core.Params) (*env.World, geom.Vec3, error) {
 	cfg.Width *= scale
 	cfg.Depth *= scale
 	w := buildEnvironment(p, "farm", func() *env.World { return env.NewFarmWorld(cfg) })
-	start := geom.V3(w.Bounds.Min.X+5, w.Bounds.Min.Y+5, 0)
+	start := findClearSpot(w, geom.V3(w.Bounds.Min.X+5, w.Bounds.Min.Y+5, 0), 2.0)
 	return w, start, nil
 }
 
@@ -67,11 +67,34 @@ func (Scanning) Setup(s *sim.Simulator, p core.Params) error {
 		spacing = 6
 	}
 
-	// Control loop: track the coverage trajectory.
+	// Control loop: climb out vertically, then track the coverage trajectory.
+	climbed := false
 	s.Engine().Every(des.Seconds(0.1), "scanning/control", func(*des.Engine) {
 		s.Graph().Executor().Submit("path_tracking", func(now time.Duration) ros.CallbackResult {
 			if s.MissionDone() {
 				return ros.CallbackResult{Kernel: compute.KernelPathTracking}
+			}
+			// The launch spot is clear of obstacles but the first survey lane
+			// may not be reachable in a straight line from low altitude, so
+			// hold a pure vertical climb until the obstacle-free survey
+			// altitude is reached (the smoothed trajectory would otherwise
+			// cut the corner through whatever the seed grew nearby).
+			if !climbed {
+				if s.TrueState().Position.Z < altitude-0.5 {
+					_ = s.IssueVelocity(geom.V3(0, 0, s.Vehicle().Params.MaxVerticalVelocity*0.75), 0)
+					return ros.CallbackResult{
+						Cost:   s.Cost().MustKernelTime(compute.KernelPathTracking),
+						Kernel: compute.KernelPathTracking,
+					}
+				}
+				climbed = true
+				// Re-anchor the time-parameterized trajectory at the climb's
+				// end, otherwise the reference point has already advanced
+				// through the climb's duration and the drone would chase a
+				// point partway down the first lanes, skipping coverage.
+				if tracker.Active() {
+					tracker.SetTrajectory(tracker.Trajectory(), s.Now())
+				}
 			}
 			cmd, done := tracker.Update(s.TrueState().Pose(), s.Now())
 			switch {
@@ -92,11 +115,17 @@ func (Scanning) Setup(s *sim.Simulator, p core.Params) error {
 	// Mission: take off, plan the lawnmower path once, follow it, land.
 	return startFlight(s, func() {
 		s.Graph().Executor().Submit("mission_planner", func(now time.Duration) ros.CallbackResult {
+			// Plan from the point directly above the launch spot: the drone
+			// climbs vertically to the obstacle-free survey altitude before
+			// heading to the first lane, so no seed can place a tree inside
+			// the climb-out corridor.
+			climbOut := s.TrueState().Position
+			climbOut.Z = altitude
 			path := planning.Lawnmower(planning.LawnmowerRequest{
 				Area:     surveyArea,
 				Altitude: altitude,
 				Spacing:  spacing,
-				Start:    s.TrueState().Position,
+				Start:    climbOut,
 			})
 			opts := planning.DefaultSmoothingOptions()
 			opts.MaxVelocity = s.Vehicle().Params.MaxHorizontalVelocity * 0.75

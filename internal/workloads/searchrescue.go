@@ -35,7 +35,7 @@ func (SearchAndRescue) World(p core.Params) (*env.World, geom.Vec3, error) {
 		cfg.Depth *= p.WorldScale
 		return env.NewDisasterWorld(cfg)
 	})
-	start := geom.V3(w.Bounds.Min.X+4, w.Bounds.Min.Y+4, 0)
+	start := findClearSpot(w, geom.V3(w.Bounds.Min.X+4, w.Bounds.Min.Y+4, 0), 2.0)
 	return w, start, nil
 }
 
