@@ -12,15 +12,14 @@ package mavbench_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"testing"
 
-	"mavbench/internal/compute"
-	"mavbench/internal/core"
 	"mavbench/internal/experiments"
-	_ "mavbench/internal/workloads"
+	"mavbench/pkg/mavbench"
 )
 
 func benchScale() experiments.Scale {
@@ -101,7 +100,7 @@ func BenchmarkTable1_KernelProfile(b *testing.B) {
 	}
 }
 
-func sweepBenchmark(b *testing.B, fn func(experiments.Scale) ([]experiments.HeatMapCell, []core.Result, experiments.Table, error), workload string) {
+func sweepBenchmark(b *testing.B, fn func(experiments.Scale) ([]experiments.HeatMapCell, []mavbench.Result, experiments.Table, error), workload string) {
 	b.Helper()
 	sc := benchScale()
 	var cells []experiments.HeatMapCell
@@ -159,7 +158,7 @@ func BenchmarkFig15_KernelBreakdown(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rows, _ = experiments.Fig15(map[string][]core.Result{"mapping_3d": raw})
+		rows, _ = experiments.Fig15(map[string][]mavbench.Result{"mapping_3d": raw})
 	}
 	b.ReportMetric(float64(len(rows)), "kernel_rows")
 }
@@ -264,24 +263,32 @@ func BenchmarkTable2_SensorNoise(b *testing.B) {
 // as a determinism check under benchmark load.
 func BenchmarkSweepEngine(b *testing.B) {
 	sc := benchScale()
-	points := compute.PaperOperatingPoints()
-	base := core.Params{
-		Workload:        "scanning",
-		Seed:            101,
-		Localizer:       "ground_truth",
-		WorldScale:      sc.WorldScale,
-		MaxMissionTimeS: sc.MaxMissionTimeS,
+	points := mavbench.PaperOperatingPoints()
+	base, err := mavbench.NewSpec("scanning",
+		mavbench.WithSeed(101),
+		mavbench.WithLocalizer("ground_truth"),
+		mavbench.WithWorldScale(sc.WorldScale),
+		mavbench.WithMaxMissionTime(sc.MaxMissionTimeS),
+	)
+	if err != nil {
+		b.Fatal(err)
 	}
-	reference, err := core.Runner{Workers: 1}.Sweep(context.Background(), base, points)
+	specs := mavbench.SweepSpecs(base, points)
+	reference, err := mavbench.NewCampaign(specs...).SetWorkers(1).Collect(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Compare serialized content, not %+v: Result.Spec holds a *CloudLink,
+	// whose address differs on every run.
+	refJSON, err := json.Marshal(reference)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			r := core.Runner{Workers: workers}
 			for i := 0; i < b.N; i++ {
-				results, err := r.Sweep(context.Background(), base, points)
+				results, err := mavbench.NewCampaign(specs...).SetWorkers(workers).Collect(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -291,7 +298,11 @@ func BenchmarkSweepEngine(b *testing.B) {
 				if len(results) != len(points) {
 					b.Fatalf("got %d results for %d points", len(results), len(points))
 				}
-				if fmt.Sprintf("%+v", results) != fmt.Sprintf("%+v", reference) {
+				resJSON, err := json.Marshal(results)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if string(resJSON) != string(refJSON) {
 					b.Fatal("parallel sweep diverged from the sequential reference")
 				}
 				b.StartTimer()
@@ -311,15 +322,17 @@ func BenchmarkAblation_PlannerChoice(b *testing.B) {
 		b.Run(planner, func(b *testing.B) {
 			var mission float64
 			for i := 0; i < b.N; i++ {
-				p := core.Params{
-					Workload:        "package_delivery",
-					Seed:            31,
-					Localizer:       "ground_truth",
-					Planner:         planner,
-					WorldScale:      sc.WorldScale,
-					MaxMissionTimeS: sc.MaxMissionTimeS,
+				spec, err := mavbench.NewSpec("package_delivery",
+					mavbench.WithSeed(31),
+					mavbench.WithLocalizer("ground_truth"),
+					mavbench.WithPlanner(planner),
+					mavbench.WithWorldScale(sc.WorldScale),
+					mavbench.WithMaxMissionTime(sc.MaxMissionTimeS),
+				)
+				if err != nil {
+					b.Fatal(err)
 				}
-				res, err := core.Run(p)
+				res, err := mavbench.Run(context.Background(), spec)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -339,14 +352,16 @@ func BenchmarkAblation_LocalizerChoice(b *testing.B) {
 		b.Run(loc, func(b *testing.B) {
 			var mission float64
 			for i := 0; i < b.N; i++ {
-				p := core.Params{
-					Workload:        "mapping_3d",
-					Seed:            37,
-					Localizer:       loc,
-					WorldScale:      sc.WorldScale,
-					MaxMissionTimeS: sc.MaxMissionTimeS,
+				spec, err := mavbench.NewSpec("mapping_3d",
+					mavbench.WithSeed(37),
+					mavbench.WithLocalizer(loc),
+					mavbench.WithWorldScale(sc.WorldScale),
+					mavbench.WithMaxMissionTime(sc.MaxMissionTimeS),
+				)
+				if err != nil {
+					b.Fatal(err)
 				}
-				res, err := core.Run(p)
+				res, err := mavbench.Run(context.Background(), spec)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -12,8 +12,8 @@ import (
 	"sort"
 	"strings"
 
-	"mavbench/internal/core"
 	"mavbench/internal/experiments"
+	"mavbench/pkg/mavbench"
 )
 
 func main() {
@@ -67,7 +67,7 @@ func main() {
 		fmt.Println(tbl)
 	}
 
-	var raw map[string][]core.Result
+	var raw map[string][]mavbench.Result
 	if want("fig10-14") || want("fig15") {
 		cells, results, tables, err := experiments.Fig10to14(sc)
 		fail(err)

@@ -2,10 +2,12 @@
 // points (cores × frequency) and prints the heat-map data of Figures 10-14 as
 // CSV.
 //
-// The sweep executes on the core.Runner worker pool; -workers bounds the
-// pool (0 = one worker per available CPU). Results are identical at any
-// worker count — per-run seeds are derived from the operating point, not
-// from scheduling order.
+// The sweep executes as a pkg/mavbench Campaign on the parallel runner;
+// -workers bounds the pool (0 = one worker per available CPU). Results are
+// identical at any worker count — per-run seeds are derived from the
+// operating point, not from scheduling order. By default rows print in
+// operating-point order once all runs finish; -stream prints each row the
+// moment its run completes (completion order).
 package main
 
 import (
@@ -13,10 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"mavbench/internal/compute"
-	"mavbench/internal/core"
-	_ "mavbench/internal/workloads"
+	"mavbench/pkg/mavbench"
 )
 
 func main() {
@@ -25,25 +26,59 @@ func main() {
 	scale := flag.Float64("world-scale", 0.45, "environment scale factor")
 	maxTime := flag.Float64("max-mission-time", 900, "mission time limit per run (seconds)")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	stream := flag.Bool("stream", false, "print rows as runs complete (completion order) instead of point order")
 	flag.Parse()
 
-	base := core.Params{
-		Workload:        *workload,
-		Seed:            *seed,
-		Localizer:       "ground_truth",
-		WorldScale:      *scale,
-		MaxMissionTimeS: *maxTime,
-	}
-	runner := core.Runner{Workers: *workers}
-	results, err := runner.Sweep(context.Background(), base, compute.PaperOperatingPoints())
+	base, err := mavbench.NewSpec(*workload,
+		mavbench.WithSeed(*seed),
+		mavbench.WithLocalizer("ground_truth"),
+		mavbench.WithWorldScale(*scale),
+		mavbench.WithMaxMissionTime(*maxTime),
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mavbench-sweep:", err)
 		os.Exit(1)
 	}
-	fmt.Println("workload,cores,freq_ghz,avg_velocity_mps,mission_time_s,energy_kj,hover_time_s,success")
-	for _, res := range results {
+
+	specs := mavbench.SweepSpecs(base, mavbench.PaperOperatingPoints())
+	campaign := mavbench.NewCampaign(specs...).SetWorkers(*workers)
+
+	fmt.Println("workload,cores,freq_ghz,avg_velocity_mps,mission_time_s,energy_kj,hover_time_s,success,error")
+	row := func(res mavbench.Result) string {
 		r := res.Report
-		fmt.Printf("%s,%d,%.1f,%.2f,%.1f,%.1f,%.1f,%v\n",
-			*workload, res.Params.Cores, res.Params.FreqGHz, r.AverageSpeed, r.MissionTimeS, r.TotalEnergyKJ, r.HoverTimeS, r.Success)
+		return fmt.Sprintf("%s,%d,%.1f,%.2f,%.1f,%.1f,%.1f,%v,%s",
+			res.Spec.Workload, res.Spec.Cores, res.Spec.FreqGHz,
+			r.AverageSpeed, r.MissionTimeS, r.TotalEnergyKJ, r.HoverTimeS, r.Success, csvField(res.Error))
 	}
+
+	if *stream {
+		// Incremental delivery: each cell prints the moment its run finishes.
+		failed := false
+		for res := range campaign.Stream(context.Background()) {
+			fmt.Println(row(res))
+			failed = failed || !res.OK()
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	results, err := campaign.Collect(context.Background())
+	for _, res := range results {
+		fmt.Println(row(res))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mavbench-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+// csvField quotes a value per RFC 4180 when it contains a comma, quote or
+// newline — error messages are arbitrary text and must not shift columns.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }

@@ -1,5 +1,6 @@
 // Command mavbench runs a single MAVBench workload in the closed-loop
-// simulator and prints its quality-of-flight report.
+// simulator through the public pkg/mavbench API and prints its
+// quality-of-flight report.
 //
 // Example:
 //
@@ -7,58 +8,88 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"mavbench/internal/core"
-	_ "mavbench/internal/workloads"
+	"mavbench/pkg/mavbench"
 )
 
 func main() {
-	var p core.Params
-	flag.StringVar(&p.Workload, "workload", "package_delivery",
-		"workload to run: "+strings.Join(core.Workloads(), ", "))
-	flag.IntVar(&p.Cores, "cores", 4, "companion-computer core count (2-4)")
-	flag.Float64Var(&p.FreqGHz, "freq", 2.2, "companion-computer frequency in GHz (0.8, 1.5, 2.2)")
-	flag.Int64Var(&p.Seed, "seed", 1, "random seed (world generation and noise)")
-	flag.StringVar(&p.Detector, "detector", "yolo", "object detector kernel: yolo, hog, haar")
-	flag.StringVar(&p.Localizer, "localizer", "gps", "localization kernel: ground_truth, gps, orb_slam2")
-	flag.StringVar(&p.Planner, "planner", "rrt_connect", "motion planner: rrt, rrt_connect, prm")
-	flag.Float64Var(&p.OctomapResolution, "octomap-resolution", 0.15, "occupancy-map voxel size in meters")
-	flag.BoolVar(&p.DynamicResolution, "dynamic-resolution", false, "switch OctoMap resolution with obstacle density")
-	flag.Float64Var(&p.DepthNoiseStd, "depth-noise", 0, "Gaussian depth-noise standard deviation in meters")
-	flag.BoolVar(&p.CloudOffload, "cloud-offload", false, "offload planning kernels to a cloud server")
-	flag.StringVar(&p.Environment, "environment", "", "override environment: urban, indoor, farm, disaster, park, empty")
-	flag.Float64Var(&p.WorldScale, "world-scale", 1.0, "scale factor for the environment extent")
-	flag.Float64Var(&p.MaxMissionTimeS, "max-mission-time", 0, "mission time limit in seconds (0 = workload default)")
+	var names []string
+	for _, info := range mavbench.Workloads() {
+		names = append(names, info.Name)
+	}
+	workload := flag.String("workload", "package_delivery",
+		"workload to run: "+strings.Join(names, ", "))
+	cores := flag.Int("cores", 4, "companion-computer core count (2-4)")
+	freq := flag.Float64("freq", 2.2, "companion-computer frequency in GHz (0.8, 1.5, 2.2)")
+	seed := flag.Int64("seed", 1, "random seed (world generation and noise)")
+	detector := flag.String("detector", "yolo", "object detector kernel: "+strings.Join(mavbench.Detectors(), ", "))
+	localizer := flag.String("localizer", "gps", "localization kernel: "+strings.Join(mavbench.Localizers(), ", "))
+	planner := flag.String("planner", "rrt_connect", "motion planner: "+strings.Join(mavbench.Planners(), ", "))
+	octomapRes := flag.Float64("octomap-resolution", 0.15, "occupancy-map voxel size in meters")
+	dynamicRes := flag.Bool("dynamic-resolution", false, "switch OctoMap resolution with obstacle density")
+	coarseRes := flag.Float64("coarse-resolution", 0.80, "coarse voxel size of the dynamic policy in meters")
+	depthNoise := flag.Float64("depth-noise", 0, "Gaussian depth-noise standard deviation in meters")
+	cloudOffload := flag.Bool("cloud-offload", false, "offload planning kernels to a cloud server")
+	environment := flag.String("environment", "", "override environment: "+strings.Join(mavbench.Environments(), ", "))
+	worldScale := flag.Float64("world-scale", 1.0, "scale factor for the environment extent")
+	maxTime := flag.Float64("max-mission-time", 0, "mission time limit in seconds (0 = workload default)")
 	csv := flag.Bool("csv", false, "print a CSV row instead of the full report")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	flag.Parse()
 
 	if *list {
-		for _, name := range core.Workloads() {
-			w, _ := core.Lookup(name)
-			fmt.Printf("%-22s %s\n", name, w.Description())
+		for _, info := range mavbench.Workloads() {
+			fmt.Printf("%-22s %s\n", info.Name, info.Description)
 		}
 		return
 	}
 
-	res, err := core.Run(p)
+	opts := []mavbench.Option{
+		mavbench.WithOperatingPoint(*cores, *freq),
+		mavbench.WithSeed(*seed),
+		mavbench.WithDetector(*detector),
+		mavbench.WithLocalizer(*localizer),
+		mavbench.WithPlanner(*planner),
+		mavbench.WithWorldScale(*worldScale),
+	}
+	if *dynamicRes {
+		opts = append(opts, mavbench.WithDynamicResolution(*octomapRes, *coarseRes))
+	} else {
+		opts = append(opts, mavbench.WithOctomapResolution(*octomapRes))
+	}
+	if *depthNoise > 0 {
+		opts = append(opts, mavbench.WithDepthNoise(*depthNoise))
+	}
+	if *cloudOffload {
+		opts = append(opts, mavbench.WithCloudOffload(mavbench.LAN1Gbps()))
+	}
+	if *environment != "" {
+		opts = append(opts, mavbench.WithEnvironment(*environment))
+	}
+	if *maxTime > 0 {
+		opts = append(opts, mavbench.WithMaxMissionTime(*maxTime))
+	}
+
+	spec, err := mavbench.NewSpec(*workload, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mavbench:", err)
+		os.Exit(1)
+	}
+	res, err := mavbench.Run(context.Background(), spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mavbench:", err)
 		os.Exit(1)
 	}
 	if *csv {
-		fmt.Println("workload,cores,freq_ghz," + coreCSVHeader())
-		fmt.Printf("%s,%d,%.1f,%s\n", res.Params.Workload, res.Params.Cores, res.Params.FreqGHz, res.Report.CSVRow())
+		fmt.Println("workload,cores,freq_ghz," + mavbench.CSVHeader())
+		fmt.Printf("%s,%d,%.1f,%s\n", res.Spec.Workload, res.Spec.Cores, res.Spec.FreqGHz, res.Report.CSVRow())
 		return
 	}
-	fmt.Printf("workload: %s on %s\n", res.Params.Workload, res.PlatformName)
+	fmt.Printf("workload: %s on %s (spec %s)\n", res.Spec.Workload, res.Platform, res.SpecHash[:12])
 	fmt.Print(res.Report.String())
-}
-
-func coreCSVHeader() string {
-	return "mission_time_s,flight_time_s,hover_time_s,avg_speed_mps,max_speed_mps,distance_m,rotor_energy_kj,compute_energy_kj,total_energy_kj,success"
 }

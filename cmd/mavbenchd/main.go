@@ -1,0 +1,40 @@
+// Command mavbenchd serves the MAVBench benchmark suite over HTTP: submit
+// campaigns of run specs, stream quality-of-flight results back as NDJSON
+// while the runs are still executing, and resolve spec content addresses.
+//
+//	mavbenchd -addr :8080 -workers 8
+//
+//	curl -s localhost:8080/v1/workloads | jq .
+//	id=$(curl -s -X POST localhost:8080/v1/campaigns \
+//	      -d '{"specs":[{"workload":"scanning","world_scale":0.4,"max_mission_time_s":600}]}' | jq -r .id)
+//	curl -sN localhost:8080/v1/campaigns/$id/results
+//
+// See docs/API.md for the full endpoint reference.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"mavbench/pkg/mavbench/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "parallel runs per campaign (0 = one per CPU)")
+	noCache := flag.Bool("no-cache", false, "disable the content-addressed result cache")
+	flag.Parse()
+
+	srv := server.New(server.Config{Workers: *workers, DisableCache: *noCache})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// No WriteTimeout: the results endpoint streams for as long as a
+		// campaign runs.
+	}
+	log.Printf("mavbenchd listening on %s (workers=%d, cache=%v)", *addr, *workers, !*noCache)
+	log.Fatal(httpSrv.ListenAndServe())
+}

@@ -7,41 +7,45 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mavbench/internal/compute"
-	"mavbench/internal/core"
-	_ "mavbench/internal/workloads"
+	"mavbench/pkg/mavbench"
 )
 
 func main() {
-	base := core.Params{
-		Workload:        "mapping_3d",
-		Cores:           4,
-		FreqGHz:         2.2,
-		Seed:            19,
-		Localizer:       "ground_truth",
-		WorldScale:      0.35,
-		MaxMissionTimeS: 700,
+	common := []mavbench.Option{
+		mavbench.WithOperatingPoint(4, 2.2),
+		mavbench.WithSeed(19),
+		mavbench.WithLocalizer("ground_truth"),
+		mavbench.WithWorldScale(0.35),
+		mavbench.WithMaxMissionTime(700),
+	}
+	edge, err := mavbench.NewSpec("mapping_3d", common...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cloud, err := mavbench.NewSpec("mapping_3d",
+		append(common, mavbench.WithCloudOffload(mavbench.LAN1Gbps()))...)
+	if err != nil {
+		log.Fatal(err)
 	}
 
+	results, err := mavbench.NewCampaign(edge, cloud).Collect(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"edge (TX2 only)", "sensor-cloud"}
 	fmt.Println("3-D mapping: edge-only vs sensor-cloud (planning offloaded over 1 Gb/s)")
-	for _, cloud := range []bool{false, true} {
-		p := base
-		p.CloudOffload = cloud
-		res, err := core.Run(p)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, res := range results {
 		r := res.Report
-		planning := r.KernelTime[compute.KernelFrontierExplore].Seconds() + r.KernelTime[compute.KernelShortestPath].Seconds()
-		name := "edge (TX2 only)"
-		if cloud {
-			name = "sensor-cloud"
+		var planning float64
+		for _, kernel := range mavbench.OffloadedKernels() {
+			planning += r.KernelTime[kernel].Seconds()
 		}
 		fmt.Printf("  %-18s mission=%6.1f s  planning=%6.1f s  hover=%5.1f s  energy=%6.1f kJ  success=%v\n",
-			name, r.MissionTimeS, planning, r.HoverTimeS, r.TotalEnergyKJ, r.Success)
+			names[i], r.MissionTimeS, planning, r.HoverTimeS, r.TotalEnergyKJ, r.Success)
 	}
 	fmt.Println("\noffloading the heavyweight exploration planner cuts hover time and total mission energy")
 }

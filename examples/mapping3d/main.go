@@ -7,26 +7,27 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 
-	"mavbench/internal/core"
-	_ "mavbench/internal/workloads"
+	"mavbench/pkg/mavbench"
 )
 
 func main() {
-	params := core.Params{
-		Workload:        "mapping_3d",
-		Cores:           4,
-		FreqGHz:         2.2,
-		Seed:            11,
-		Localizer:       "ground_truth",
-		Planner:         "rrt_connect",
-		WorldScale:      0.35,
-		MaxMissionTimeS: 600,
+	spec, err := mavbench.NewSpec("mapping_3d",
+		mavbench.WithOperatingPoint(4, 2.2),
+		mavbench.WithSeed(11),
+		mavbench.WithLocalizer("ground_truth"),
+		mavbench.WithPlanner("rrt_connect"),
+		mavbench.WithWorldScale(0.35),
+		mavbench.WithMaxMissionTime(600),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	res, err := core.Run(params)
+	res, err := mavbench.Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,40 +1,48 @@
 // Sensor-noise reliability example (the paper's reliability case study):
 // inject Gaussian noise into the depth camera of the package-delivery
 // workload and observe the growth in re-planning and mission time, and the
-// appearance of outright mission failures at high noise.
+// appearance of outright mission failures at high noise. All four noise
+// levels run concurrently as one Campaign.
 //
 //	go run ./examples/noisestudy
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mavbench/internal/core"
-	_ "mavbench/internal/workloads"
+	"mavbench/pkg/mavbench"
 )
 
 func main() {
-	fmt.Println("package delivery under depth-image noise (Table II style)")
-	fmt.Println("noise_std_m  success  replans  mission_time_s  energy_kJ")
-	for _, std := range []float64{0, 0.5, 1.0, 1.5} {
-		p := core.Params{
-			Workload:        "package_delivery",
-			Cores:           4,
-			FreqGHz:         2.2,
-			Seed:            23,
-			Localizer:       "ground_truth",
-			WorldScale:      0.4,
-			MaxMissionTimeS: 900,
-			DepthNoiseStd:   std,
-		}
-		res, err := core.Run(p)
+	stds := []float64{0, 0.5, 1.0, 1.5}
+	specs := make([]mavbench.Spec, len(stds))
+	for i, std := range stds {
+		spec, err := mavbench.NewSpec("package_delivery",
+			mavbench.WithOperatingPoint(4, 2.2),
+			mavbench.WithSeed(23),
+			mavbench.WithLocalizer("ground_truth"),
+			mavbench.WithWorldScale(0.4),
+			mavbench.WithMaxMissionTime(900),
+			mavbench.WithDepthNoise(std),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
+		specs[i] = spec
+	}
+
+	results, err := mavbench.NewCampaign(specs...).Collect(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("package delivery under depth-image noise (Table II style)")
+	fmt.Println("noise_std_m  success  replans  mission_time_s  energy_kJ")
+	for i, res := range results {
 		r := res.Report
 		fmt.Printf("%10.1f  %-7v  %7.0f  %14.1f  %9.1f\n",
-			std, r.Success, r.Counters["replans"], r.MissionTimeS, r.TotalEnergyKJ)
+			stds[i], r.Success, r.Counters["replans"], r.MissionTimeS, r.TotalEnergyKJ)
 	}
 	fmt.Println("\nnoise inflates obstacles in the occupancy map, forcing re-plans and longer missions")
 }

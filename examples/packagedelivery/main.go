@@ -1,28 +1,20 @@
 // Package-delivery example: compare the delivery mission at a weak and a
 // strong companion-computer operating point, reproducing the paper's central
 // observation that more compute shortens the mission and, because the rotors
-// dominate power, reduces total energy.
+// dominate power, reduces total energy. Both runs execute as one Campaign.
 //
 //	go run ./examples/packagedelivery
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mavbench/internal/core"
-	_ "mavbench/internal/workloads"
+	"mavbench/pkg/mavbench"
 )
 
 func main() {
-	base := core.Params{
-		Workload:        "package_delivery",
-		Seed:            7,
-		Localizer:       "ground_truth",
-		WorldScale:      0.4,
-		MaxMissionTimeS: 900,
-	}
-
 	configs := []struct {
 		name  string
 		cores int
@@ -32,18 +24,32 @@ func main() {
 		{"strong (4 cores @ 2.2 GHz)", 4, 2.2},
 	}
 
-	fmt.Println("package delivery: compute operating point vs mission time and energy")
-	for _, cfg := range configs {
-		p := base
-		p.Cores = cfg.cores
-		p.FreqGHz = cfg.freq
-		res, err := core.Run(p)
+	specs := make([]mavbench.Spec, len(configs))
+	for i, cfg := range configs {
+		spec, err := mavbench.NewSpec("package_delivery",
+			mavbench.WithOperatingPoint(cfg.cores, cfg.freq),
+			mavbench.WithSeed(7),
+			mavbench.WithLocalizer("ground_truth"),
+			mavbench.WithWorldScale(0.4),
+			mavbench.WithMaxMissionTime(900),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
+		specs[i] = spec
+	}
+
+	// Collect blocks until both missions finish and returns results in spec
+	// order (use Stream to consume them as they complete instead).
+	results, err := mavbench.NewCampaign(specs...).Collect(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("package delivery: compute operating point vs mission time and energy")
+	for i, res := range results {
 		r := res.Report
 		fmt.Printf("  %-28s success=%-5v mission=%6.1f s  avg velocity=%4.2f m/s  energy=%6.1f kJ  replans=%.0f\n",
-			cfg.name, r.Success, r.MissionTimeS, r.AverageSpeed, r.TotalEnergyKJ, r.Counters["replans"])
+			configs[i].name, r.Success, r.MissionTimeS, r.AverageSpeed, r.TotalEnergyKJ, r.Counters["replans"])
 	}
 	fmt.Println("\nmore compute -> higher safe velocity and less hovering -> shorter mission -> less rotor energy")
 }

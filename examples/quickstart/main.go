@@ -1,34 +1,37 @@
-// Quickstart: run one MAVBench workload end to end and print its
-// quality-of-flight report.
+// Quickstart: run one MAVBench workload end to end through the public API
+// and print its quality-of-flight report.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mavbench/internal/core"
-	_ "mavbench/internal/workloads"
+	"mavbench/pkg/mavbench"
 )
 
 func main() {
 	// Pick a workload, a compute operating point and a seed; everything else
-	// uses the benchmark defaults. WorldScale shrinks the environment so the
-	// example finishes in a few seconds of wall-clock time.
-	params := core.Params{
-		Workload:        "scanning",
-		Cores:           4,
-		FreqGHz:         2.2,
-		Seed:            42,
-		WorldScale:      0.4,
-		MaxMissionTimeS: 600,
-	}
-
-	result, err := core.Run(params)
+	// uses the benchmark defaults. WithWorldScale shrinks the environment so
+	// the example finishes in a few seconds of wall-clock time. NewSpec
+	// validates every knob: a typo'd kernel name or an out-of-range value is
+	// an error here, not a silent default deep inside the run.
+	spec, err := mavbench.NewSpec("scanning",
+		mavbench.WithOperatingPoint(4, 2.2),
+		mavbench.WithSeed(42),
+		mavbench.WithWorldScale(0.4),
+		mavbench.WithMaxMissionTime(600),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ran %s on %s\n\n", result.Params.Workload, result.PlatformName)
+
+	result, err := mavbench.Run(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %s on %s (spec %s)\n\n", result.Spec.Workload, result.Platform, result.SpecHash[:12])
 	fmt.Print(result.Report.String())
 }

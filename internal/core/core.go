@@ -12,6 +12,8 @@ package core
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -69,6 +71,78 @@ type Params struct {
 	KeepTraces bool
 }
 
+// Detectors returns the canonical object-detector kernel names.
+func Detectors() []string { return []string{"haar", "hog", "yolo"} }
+
+// Localizers returns the canonical localization kernel names.
+func Localizers() []string { return []string{"gps", "ground_truth", "orb_slam2"} }
+
+// Planners returns the canonical motion-planner kernel names.
+func Planners() []string { return []string{"prm", "rrt", "rrt_connect"} }
+
+// Environments returns the canonical environment-override names.
+func Environments() []string {
+	return []string{"disaster", "empty", "farm", "indoor", "park", "urban"}
+}
+
+// kernelAliases maps the spelling variants the kernel constructors accept to
+// their canonical names, so validation and the constructors can never
+// disagree about what is legal.
+var kernelAliases = map[string]string{
+	"groundtruth": "ground_truth",
+	"slam":        "orb_slam2",
+	"vins_mono":   "orb_slam2",
+	"rrtconnect":  "rrt_connect",
+	"prm_astar":   "prm",
+}
+
+// canonicalName resolves aliases and reports whether name is one of valid.
+func canonicalName(name string, valid []string) (string, bool) {
+	if c, ok := kernelAliases[name]; ok {
+		name = c
+	}
+	for _, v := range valid {
+		if name == v {
+			return name, true
+		}
+	}
+	return name, false
+}
+
+// Validate rejects unknown workload, kernel and environment names with a
+// descriptive error listing the valid values. It is the single place where
+// names are checked: core.Run and the public pkg/mavbench Spec builder both
+// call it, so bad input fails loudly at the API boundary instead of being
+// silently defaulted deep inside a run. Empty kernel fields are allowed
+// (Normalize fills them); an empty Environment keeps the workload default.
+func (p Params) Validate() error {
+	if _, err := Lookup(p.Workload); err != nil {
+		return err
+	}
+	if p.Detector != "" {
+		if _, ok := canonicalName(p.Detector, Detectors()); !ok {
+			return fmt.Errorf("core: unknown detector %q (valid: %v)", p.Detector, Detectors())
+		}
+	}
+	if p.Localizer != "" {
+		if _, ok := canonicalName(p.Localizer, Localizers()); !ok {
+			return fmt.Errorf("core: unknown localizer %q (valid: %v)", p.Localizer, Localizers())
+		}
+	}
+	if p.Planner != "" {
+		if _, ok := canonicalName(p.Planner, Planners()); !ok {
+			return fmt.Errorf("core: unknown planner %q (valid: %v)", p.Planner, Planners())
+		}
+	}
+	if p.Environment != "" {
+		if _, ok := canonicalName(p.Environment, Environments()); !ok {
+			return fmt.Errorf("core: unknown environment %q (valid: %v, empty = workload default)",
+				p.Environment, Environments())
+		}
+	}
+	return nil
+}
+
 // Normalize fills defaults.
 func (p Params) Normalize() Params {
 	if p.Cores <= 0 {
@@ -86,6 +160,12 @@ func (p Params) Normalize() Params {
 	if p.Planner == "" {
 		p.Planner = "rrt_connect"
 	}
+	// Canonicalize alias spellings ("slam", "rrtconnect", ...) so equivalent
+	// parameter sets are identical after normalization (pkg/mavbench hashes
+	// the normalized form).
+	p.Detector, _ = canonicalName(p.Detector, Detectors())
+	p.Localizer, _ = canonicalName(p.Localizer, Localizers())
+	p.Planner, _ = canonicalName(p.Planner, Planners())
 	if p.OctomapResolution <= 0 {
 		p.OctomapResolution = 0.15
 	}
@@ -176,13 +256,50 @@ type Result struct {
 	PlatformName string
 	// Err is set when the run failed or panicked inside a Runner pool; the
 	// Report is zero in that case. Direct Run calls report errors through
-	// their error return instead.
-	Err error `json:"-"`
+	// their error return instead. JSON encodes it as an "error" string (see
+	// MarshalJSON) so failed runs stay visible in serialized sweep output.
+	Err error
+}
+
+// resultJSON is the wire form of Result: identical fields, with the error
+// flattened to a string so failed runs survive serialization instead of
+// silently encoding as a zero report.
+type resultJSON struct {
+	Report       telemetry.Report
+	Params       Params
+	PlatformName string
+	Error        string `json:"error,omitempty"`
+}
+
+// MarshalJSON encodes the result with Err rendered as an "error" string.
+func (r Result) MarshalJSON() ([]byte, error) {
+	out := resultJSON{Report: r.Report, Params: r.Params, PlatformName: r.PlatformName}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the wire form, restoring a non-empty "error" string
+// as an opaque error value.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var in resultJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*r = Result{Report: in.Report, Params: in.Params, PlatformName: in.PlatformName}
+	if in.Error != "" {
+		r.Err = errors.New(in.Error)
+	}
+	return nil
 }
 
 // Run executes one benchmark run described by p.
 func Run(p Params) (Result, error) {
 	p = p.Normalize()
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
 	w, err := Lookup(p.Workload)
 	if err != nil {
 		return Result{}, err

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/json"
+	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -52,6 +54,83 @@ func TestNormalizeDefaults(t *testing.T) {
 	op := p.OperatingPoint()
 	if op.Cores != 4 || op.FreqGHz != compute.TX2FreqHighGHz {
 		t.Errorf("OperatingPoint = %v", op)
+	}
+}
+
+func TestNormalizeCanonicalizesAliases(t *testing.T) {
+	p := Params{Localizer: "slam", Planner: "rrtconnect"}.Normalize()
+	if p.Localizer != "orb_slam2" || p.Planner != "rrt_connect" {
+		t.Errorf("aliases not canonicalized: %q %q", p.Localizer, p.Planner)
+	}
+}
+
+func TestValidateRejectsUnknownNames(t *testing.T) {
+	fw := &fakeWorkload{name: "validate_test_workload"}
+	Register(fw)
+	defer func() {
+		registryMu.Lock()
+		delete(registry, fw.name)
+		registryMu.Unlock()
+	}()
+
+	ok := Params{Workload: fw.name, Detector: "hog", Localizer: "gps", Planner: "prm", Environment: "indoor"}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	// Empty kernels and environment are legal (defaults / workload default).
+	if err := (Params{Workload: fw.name}).Validate(); err != nil {
+		t.Fatalf("empty kernels rejected: %v", err)
+	}
+	cases := []struct {
+		mutate func(*Params)
+		want   string
+	}{
+		{func(p *Params) { p.Workload = "bogus" }, "unknown workload"},
+		{func(p *Params) { p.Detector = "yol" }, "unknown detector"},
+		{func(p *Params) { p.Localizer = "slammy" }, "unknown localizer"},
+		{func(p *Params) { p.Planner = "a_star" }, "unknown planner"},
+		{func(p *Params) { p.Environment = "moon" }, "unknown environment"},
+	}
+	for _, tc := range cases {
+		p := ok
+		tc.mutate(&p)
+		err := p.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Validate(%+v) = %v, want %q error listing valid values", p, err, tc.want)
+		}
+		if err != nil && !strings.Contains(err.Error(), "valid") && !strings.Contains(err.Error(), "available") {
+			t.Errorf("error %q does not list the valid values", err)
+		}
+	}
+	// Run surfaces the same error instead of defaulting silently.
+	if _, err := Run(Params{Workload: fw.name, Detector: "yol"}); err == nil {
+		t.Error("Run accepted an unknown detector")
+	}
+}
+
+func TestResultJSONCarriesError(t *testing.T) {
+	res := Result{Params: Params{Workload: "w"}, Err: errors.New("mission exploded")}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "mission exploded") {
+		t.Fatalf("marshaled result hides the error: %s", data)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Err == nil || back.Err.Error() != "mission exploded" {
+		t.Errorf("round-tripped error = %v", back.Err)
+	}
+	// Successful results omit the error field entirely.
+	data, err = json.Marshal(Result{PlatformName: "tx2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"error"`) {
+		t.Errorf("successful result serialized an error field: %s", data)
 	}
 }
 

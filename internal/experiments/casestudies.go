@@ -5,7 +5,7 @@ import (
 	"fmt"
 
 	"mavbench/internal/compute"
-	"mavbench/internal/core"
+	"mavbench/pkg/mavbench"
 )
 
 // Fig16Row compares the fully-on-edge drone with the sensor-cloud drone for
@@ -29,19 +29,21 @@ func Fig16(sc Scale) ([]Fig16Row, Table, error) {
 	}
 	var rows []Fig16Row
 	configs := []struct {
-		name  string
-		cloud bool
+		name string
+		opts []mavbench.Option
 	}{
-		{"edge (TX2)", false},
-		{"sensor-cloud (1 Gb/s)", true},
+		{"edge (TX2)", nil},
+		{"sensor-cloud (1 Gb/s)", []mavbench.Option{mavbench.WithCloudOffload(mavbench.LAN1Gbps())}},
 	}
-	runs := make([]core.Params, len(configs))
+	specs := make([]mavbench.Spec, len(configs))
 	for i, c := range configs {
-		p := sc.baseParams("mapping_3d", 211)
-		p.CloudOffload = c.cloud
-		runs[i] = p
+		spec, err := sc.baseSpec("mapping_3d", 211, c.opts...)
+		if err != nil {
+			return rows, t, err
+		}
+		specs[i] = spec
 	}
-	results, err := sc.Runner().RunAll(context.Background(), runs)
+	results, err := sc.Campaign(specs...).Collect(context.Background())
 	if err != nil {
 		return rows, t, err
 	}
@@ -85,32 +87,31 @@ func Fig19(sc Scale) ([]Fig19Row, Table, error) {
 	var rows []Fig19Row
 	workloads := []string{"mapping_3d", "search_and_rescue", "package_delivery"}
 	policies := []struct {
-		name    string
-		fine    float64
-		dynamic bool
+		name string
+		opts []mavbench.Option
 	}{
-		{"static 0.15 m", 0.15, false},
-		{"static 0.80 m", 0.80, false},
-		{"dynamic 0.15/0.80 m", 0.15, true},
+		{"static 0.15 m", []mavbench.Option{mavbench.WithOctomapResolution(0.15)}},
+		{"static 0.80 m", []mavbench.Option{mavbench.WithOctomapResolution(0.80)}},
+		{"dynamic 0.15/0.80 m", []mavbench.Option{mavbench.WithDynamicResolution(0.15, 0.80)}},
 	}
 	type cellMeta struct {
 		workload string
 		policy   string
 	}
-	var runs []core.Params
+	var specs []mavbench.Spec
 	var metas []cellMeta
 	for _, wl := range workloads {
 		for _, pol := range policies {
-			p := sc.baseParams(wl, 307)
-			p.Environment = "indoor"
-			p.OctomapResolution = pol.fine
-			p.DynamicResolution = pol.dynamic
-			p.CoarseResolution = 0.80
-			runs = append(runs, p)
+			opts := append([]mavbench.Option{mavbench.WithEnvironment("indoor")}, pol.opts...)
+			spec, err := sc.baseSpec(wl, 307, opts...)
+			if err != nil {
+				return rows, t, err
+			}
+			specs = append(specs, spec)
 			metas = append(metas, cellMeta{workload: wl, policy: pol.name})
 		}
 	}
-	results, err := sc.Runner().RunAll(context.Background(), runs)
+	results, err := sc.Campaign(specs...).Collect(context.Background())
 	if err != nil {
 		return rows, t, err
 	}
@@ -166,16 +167,18 @@ func Table2(sc Scale) ([]Table2Row, Table, error) {
 		repeats = 1
 	}
 	stds := []float64{0, 0.5, 1.0, 1.5}
-	// One flat run list: every repeat of every noise level executes on the
+	// One flat spec list: every repeat of every noise level executes on the
 	// same worker pool; seeds come from the repeat index, so the statistics
 	// are identical at any worker count.
-	var runs []core.Params
+	var specs []mavbench.Spec
 	for _, std := range stds {
-		base := sc.baseParams("package_delivery", 401)
-		base.DepthNoiseStd = std
-		runs = append(runs, core.RepeatParams(base, repeats)...)
+		base, err := sc.baseSpec("package_delivery", 401, mavbench.WithDepthNoise(std))
+		if err != nil {
+			return rows, t, err
+		}
+		specs = append(specs, mavbench.RepeatSpecs(base, repeats)...)
 	}
-	results, err := sc.Runner().RunAll(context.Background(), runs)
+	results, err := sc.Campaign(specs...).Collect(context.Background())
 	if err != nil {
 		return rows, t, err
 	}

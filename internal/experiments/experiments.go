@@ -15,8 +15,7 @@ import (
 
 	"mavbench/internal/compute"
 	"mavbench/internal/core"
-	// Importing the workloads registers them with the core framework.
-	_ "mavbench/internal/workloads"
+	"mavbench/pkg/mavbench"
 )
 
 // Scale controls how big the closed-loop experiments are.
@@ -30,16 +29,22 @@ type Scale struct {
 	Repeats int
 	// OperatingPoints are the compute operating points swept for the heat
 	// maps.
-	OperatingPoints []compute.OperatingPoint
+	OperatingPoints []mavbench.OperatingPoint
 	// Workers bounds the worker pool the sweeps run on (<= 0 selects
 	// runtime.GOMAXPROCS(0)). Results are identical at any worker count;
 	// only wall-clock time changes.
 	Workers int
 }
 
-// Runner returns the parallel execution engine configured for this scale.
+// Runner returns the low-level parallel task pool configured for this scale
+// (used by experiments that fan out non-benchmark work, e.g. Fig9b).
 func (sc Scale) Runner() core.Runner {
 	return core.Runner{Workers: sc.Workers}
+}
+
+// Campaign wraps specs in a public-API campaign on this scale's worker pool.
+func (sc Scale) Campaign(specs ...mavbench.Spec) *mavbench.Campaign {
+	return mavbench.NewCampaign(specs...).SetWorkers(sc.Workers)
 }
 
 // QuickScale is a reduced configuration for unit tests: small worlds, few
@@ -49,7 +54,7 @@ func QuickScale() Scale {
 		WorldScale:      0.3,
 		MaxMissionTimeS: 300,
 		Repeats:         1,
-		OperatingPoints: []compute.OperatingPoint{
+		OperatingPoints: []mavbench.OperatingPoint{
 			{Cores: 2, FreqGHz: compute.TX2FreqLowGHz},
 			{Cores: 4, FreqGHz: compute.TX2FreqHighGHz},
 		},
@@ -65,21 +70,21 @@ func FullScale() Scale {
 		WorldScale:      0.45,
 		MaxMissionTimeS: 900,
 		Repeats:         3,
-		OperatingPoints: compute.PaperOperatingPoints(),
+		OperatingPoints: mavbench.PaperOperatingPoints(),
 	}
 }
 
-// baseParams returns the common workload parameters for a closed-loop
-// experiment run.
-func (sc Scale) baseParams(workload string, seed int64) core.Params {
-	return core.Params{
-		Workload:        workload,
-		Seed:            seed,
-		Localizer:       "ground_truth",
-		Planner:         "rrt_connect",
-		WorldScale:      sc.WorldScale,
-		MaxMissionTimeS: sc.MaxMissionTimeS,
+// baseSpec builds the common spec for a closed-loop experiment run, with
+// extra options appended (build-time validated like any public-API spec).
+func (sc Scale) baseSpec(workload string, seed int64, opts ...mavbench.Option) (mavbench.Spec, error) {
+	base := []mavbench.Option{
+		mavbench.WithSeed(seed),
+		mavbench.WithLocalizer("ground_truth"),
+		mavbench.WithPlanner("rrt_connect"),
+		mavbench.WithWorldScale(sc.WorldScale),
+		mavbench.WithMaxMissionTime(sc.MaxMissionTimeS),
 	}
+	return mavbench.NewSpec(workload, append(base, opts...)...)
 }
 
 // Table is a generic formatted result table.

@@ -1,13 +1,13 @@
 package experiments
 
 import (
-	"fmt"
+	"encoding/json"
 	"reflect"
 	"strings"
 	"testing"
 
 	"mavbench/internal/compute"
-	"mavbench/internal/core"
+	"mavbench/pkg/mavbench"
 )
 
 func tinyScale() Scale {
@@ -15,7 +15,7 @@ func tinyScale() Scale {
 		WorldScale:      0.3,
 		MaxMissionTimeS: 240,
 		Repeats:         1,
-		OperatingPoints: []compute.OperatingPoint{{Cores: 4, FreqGHz: compute.TX2FreqHighGHz}},
+		OperatingPoints: []mavbench.OperatingPoint{{Cores: 4, FreqGHz: compute.TX2FreqHighGHz}},
 	}
 }
 
@@ -207,7 +207,7 @@ func TestWorkloadSweepQuick(t *testing.T) {
 		t.Errorf("summary = %+v", sum)
 	}
 	// Figure 15 built from the same sweep results.
-	rows, tbl := Fig15(map[string][]core.Result{"scanning": raw})
+	rows, tbl := Fig15(map[string][]mavbench.Result{"scanning": raw})
 	if len(rows) == 0 || len(tbl.Rows) != len(rows) {
 		t.Fatalf("Fig15 rows = %d", len(rows))
 	}
@@ -221,11 +221,11 @@ func TestSweepDeterminismAcrossWorkerCounts(t *testing.T) {
 		t.Skip("closed-loop sweep is slow")
 	}
 	sc := tinyScale()
-	sc.OperatingPoints = []compute.OperatingPoint{
+	sc.OperatingPoints = []mavbench.OperatingPoint{
 		{Cores: 2, FreqGHz: compute.TX2FreqLowGHz},
 		{Cores: 4, FreqGHz: compute.TX2FreqHighGHz},
 	}
-	run := func(workers int) []core.Result {
+	run := func(workers int) []mavbench.Result {
 		s := sc
 		s.Workers = workers
 		_, raw, err := WorkloadSweep(s, "scanning", 17)
@@ -239,8 +239,18 @@ func TestSweepDeterminismAcrossWorkerCounts(t *testing.T) {
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatalf("sweep diverges across worker counts:\n%+v\nvs\n%+v", seq, par)
 	}
-	if fmt.Sprintf("%+v", seq) != fmt.Sprintf("%+v", par) {
-		t.Fatal("formatted sweep results differ across worker counts")
+	// The serialized wire form must match too (Spec holds a CloudLink
+	// pointer, so %+v would compare addresses — JSON compares content).
+	seqJSON, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(seqJSON) != string(parJSON) {
+		t.Fatal("serialized sweep results differ across worker counts")
 	}
 }
 

@@ -7,10 +7,10 @@ import (
 	"time"
 
 	"mavbench/internal/compute"
-	"mavbench/internal/core"
 	"mavbench/internal/geom"
 	"mavbench/internal/octomap"
 	"mavbench/internal/telemetry"
+	"mavbench/pkg/mavbench"
 )
 
 // Table1Row compares one workload/kernel pair against the paper's Table I.
@@ -34,21 +34,24 @@ func Table1(sc Scale) ([]Table1Row, Table) {
 	}
 	reports := map[string]telemetry.Report{}
 	workloads := compute.Table1Workloads()
-	runs := make([]core.Params, len(workloads))
-	for i, wl := range workloads {
-		p := sc.baseParams(wl, 1)
-		p.Cores = 4
-		p.FreqGHz = compute.TX2FreqHighGHz
-		runs[i] = p
+	specs := make([]mavbench.Spec, 0, len(workloads))
+	names := make([]string, 0, len(workloads))
+	for _, wl := range workloads {
+		spec, err := sc.baseSpec(wl, 1, mavbench.WithOperatingPoint(4, compute.TX2FreqHighGHz))
+		if err != nil {
+			continue // the cell stays zero, like a failed run
+		}
+		specs = append(specs, spec)
+		names = append(names, wl)
 	}
 	// Workloads that fail to run simply keep their table cells at zero, as
 	// before; the joined error is deliberately ignored.
-	results, _ := sc.Runner().RunAll(context.Background(), runs)
+	results, _ := sc.Campaign(specs...).Collect(context.Background())
 	for i, res := range results {
-		if res.Err != nil {
+		if !res.OK() {
 			continue
 		}
-		reports[workloads[i]] = res.Report
+		reports[names[i]] = res.Report
 	}
 	for _, entry := range compute.PaperTable1() {
 		rep, ok := reports[entry.Workload]
@@ -76,7 +79,7 @@ type Fig15Row struct {
 // Fig15 reproduces Figure 15: the per-kernel runtime breakdown of every
 // workload across the swept TX2 operating points. It reuses the sweep results
 // of Figures 10-14 so the closed-loop runs are not repeated.
-func Fig15(sweeps map[string][]core.Result) ([]Fig15Row, Table) {
+func Fig15(sweeps map[string][]mavbench.Result) ([]Fig15Row, Table) {
 	var rows []Fig15Row
 	t := Table{
 		Title:   "Figure 15: kernel runtime breakdown across operating points",
@@ -97,8 +100,8 @@ func Fig15(sweeps map[string][]core.Result) ([]Fig15Row, Table) {
 				row := Fig15Row{
 					Workload: wl,
 					Kernel:   kernel,
-					Cores:    res.Params.Cores,
-					FreqGHz:  res.Params.FreqGHz,
+					Cores:    res.Spec.Cores,
+					FreqGHz:  res.Spec.FreqGHz,
 					MeanMs:   float64(res.Report.KernelMean[kernel].Microseconds()) / 1000,
 				}
 				rows = append(rows, row)

@@ -4,8 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"mavbench/internal/compute"
-	"mavbench/internal/core"
+	"mavbench/pkg/mavbench"
 )
 
 // HeatMapCell is one cell of the Figures 10-14 heat maps: the quality-of-
@@ -24,12 +23,16 @@ type HeatMapCell struct {
 	Success     bool
 }
 
-// WorkloadSweep runs one workload across the scale's operating points on the
-// scale's worker pool and returns both the heat-map cells and the raw results
-// (reused by Figure 15).
-func WorkloadSweep(sc Scale, workload string, seed int64) ([]HeatMapCell, []core.Result, error) {
-	base := sc.baseParams(workload, seed)
-	results, err := sc.Runner().Sweep(context.Background(), base, sc.OperatingPoints)
+// WorkloadSweep runs one workload across the scale's operating points as a
+// public-API campaign on the scale's worker pool and returns both the
+// heat-map cells and the raw results (reused by Figure 15).
+func WorkloadSweep(sc Scale, workload string, seed int64) ([]HeatMapCell, []mavbench.Result, error) {
+	base, err := sc.baseSpec(workload, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	specs := mavbench.SweepSpecs(base, sc.OperatingPoints)
+	results, err := sc.Campaign(specs...).Collect(context.Background())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -37,8 +40,8 @@ func WorkloadSweep(sc Scale, workload string, seed int64) ([]HeatMapCell, []core
 	for _, res := range results {
 		cell := HeatMapCell{
 			Workload:     workload,
-			Cores:        res.Params.Cores,
-			FreqGHz:      res.Params.FreqGHz,
+			Cores:        res.Spec.Cores,
+			FreqGHz:      res.Spec.FreqGHz,
 			AvgVelocity:  res.Report.AverageSpeed,
 			MissionTimeS: res.Report.MissionTimeS,
 			EnergyKJ:     res.Report.TotalEnergyKJ,
@@ -72,43 +75,43 @@ func heatMapTable(title string, cells []HeatMapCell, isPhotography bool) Table {
 }
 
 // Fig10Scanning reproduces Figure 10 (scanning heat maps).
-func Fig10Scanning(sc Scale) ([]HeatMapCell, []core.Result, Table, error) {
+func Fig10Scanning(sc Scale) ([]HeatMapCell, []mavbench.Result, Table, error) {
 	cells, results, err := WorkloadSweep(sc, "scanning", 101)
 	return cells, results, heatMapTable("Figure 10: Scanning — velocity / mission time / energy vs operating point", cells, false), err
 }
 
 // Fig11PackageDelivery reproduces Figure 11 (package delivery heat maps).
-func Fig11PackageDelivery(sc Scale) ([]HeatMapCell, []core.Result, Table, error) {
+func Fig11PackageDelivery(sc Scale) ([]HeatMapCell, []mavbench.Result, Table, error) {
 	cells, results, err := WorkloadSweep(sc, "package_delivery", 103)
 	return cells, results, heatMapTable("Figure 11: Package Delivery — velocity / mission time / energy vs operating point", cells, false), err
 }
 
 // Fig12Mapping reproduces Figure 12 (3-D mapping heat maps).
-func Fig12Mapping(sc Scale) ([]HeatMapCell, []core.Result, Table, error) {
+func Fig12Mapping(sc Scale) ([]HeatMapCell, []mavbench.Result, Table, error) {
 	cells, results, err := WorkloadSweep(sc, "mapping_3d", 107)
 	return cells, results, heatMapTable("Figure 12: 3D Mapping — velocity / mission time / energy vs operating point", cells, false), err
 }
 
 // Fig13SearchRescue reproduces Figure 13 (search-and-rescue heat maps).
-func Fig13SearchRescue(sc Scale) ([]HeatMapCell, []core.Result, Table, error) {
+func Fig13SearchRescue(sc Scale) ([]HeatMapCell, []mavbench.Result, Table, error) {
 	cells, results, err := WorkloadSweep(sc, "search_and_rescue", 109)
 	return cells, results, heatMapTable("Figure 13: Search and Rescue — velocity / mission time / energy vs operating point", cells, false), err
 }
 
 // Fig14AerialPhotography reproduces Figure 14 (aerial photography heat maps).
-func Fig14AerialPhotography(sc Scale) ([]HeatMapCell, []core.Result, Table, error) {
+func Fig14AerialPhotography(sc Scale) ([]HeatMapCell, []mavbench.Result, Table, error) {
 	cells, results, err := WorkloadSweep(sc, "aerial_photography", 113)
 	return cells, results, heatMapTable("Figure 14: Aerial Photography — error / mission time / energy vs operating point", cells, true), err
 }
 
 // Fig10to14 runs all five workload sweeps and returns their cells keyed by
 // workload plus the raw results (for Figure 15).
-func Fig10to14(sc Scale) (map[string][]HeatMapCell, map[string][]core.Result, []Table, error) {
+func Fig10to14(sc Scale) (map[string][]HeatMapCell, map[string][]mavbench.Result, []Table, error) {
 	cells := map[string][]HeatMapCell{}
-	raw := map[string][]core.Result{}
+	raw := map[string][]mavbench.Result{}
 	var tables []Table
 
-	type runner func(Scale) ([]HeatMapCell, []core.Result, Table, error)
+	type runner func(Scale) ([]HeatMapCell, []mavbench.Result, Table, error)
 	runs := []struct {
 		name string
 		fn   runner
@@ -190,4 +193,4 @@ func Summarize(workload string, cells []HeatMapCell) SpeedupSummary {
 
 // OperatingPointsOf returns the operating points used by the sweep (mostly a
 // convenience for reports).
-func OperatingPointsOf(sc Scale) []compute.OperatingPoint { return sc.OperatingPoints }
+func OperatingPointsOf(sc Scale) []mavbench.OperatingPoint { return sc.OperatingPoints }

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -165,5 +167,74 @@ func TestCSV(t *testing.T) {
 	row := r.Report(5).CSVRow()
 	if strings.Count(row, ",") != strings.Count(CSVHeader(), ",") {
 		t.Errorf("CSV row/header field count mismatch:\n%s\n%s", CSVHeader(), row)
+	}
+}
+
+// TestCSVColumnParity pins the CSV schema: the header's column names, their
+// order, and the row's field count are the sweep CLI's wire format and must
+// not drift silently. Changing them is a deliberate, documented act.
+func TestCSVColumnParity(t *testing.T) {
+	wantCols := []string{
+		"mission_time_s", "flight_time_s", "hover_time_s", "avg_speed_mps", "max_speed_mps",
+		"distance_m", "rotor_energy_kj", "compute_energy_kj", "total_energy_kj", "success",
+	}
+	cols := strings.Split(CSVHeader(), ",")
+	if len(cols) != len(wantCols) {
+		t.Fatalf("CSVHeader has %d columns, want %d: %q", len(cols), len(wantCols), cols)
+	}
+	for i, want := range wantCols {
+		if cols[i] != want {
+			t.Errorf("column %d = %q, want %q", i, cols[i], want)
+		}
+	}
+	r := NewRecorder(false)
+	r.StartMission(0)
+	r.SampleKinematics(1, 1, 3, true, false)
+	r.AddEnergy(1000, 10)
+	r.EndMission(10, true, "")
+	fields := strings.Split(r.Report(10).CSVRow(), ",")
+	if len(fields) != len(wantCols) {
+		t.Fatalf("CSVRow has %d fields, want %d: %q", len(fields), len(wantCols), fields)
+	}
+	if fields[len(fields)-1] != "true" {
+		t.Errorf("success column = %q", fields[len(fields)-1])
+	}
+}
+
+// TestReportJSONRoundTrip guards the service's wire format: a fully
+// populated report must survive JSON encode/decode unchanged.
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := NewRecorder(true)
+	r.StartMission(0)
+	r.SampleKinematics(1, 1, 5, true, false)
+	r.SampleKinematics(2, 1, 0.01, true, true)
+	r.AddEnergy(20_000, 300)
+	r.RecordKernel("occupancy_map_generation", 250*time.Millisecond)
+	r.RecordKernel("motion_planning", 40*time.Millisecond)
+	r.RecordPower(1, 350)
+	r.RecordPhase(1, "flying")
+	r.Count("replans", 2)
+	r.Observe("tracking_error_px", 12.5)
+	r.EndMission(30, false, "battery depleted")
+	rep := r.Report(30)
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Errorf("report changed across JSON round trip:\n%+v\nvs\n%+v", rep, back)
+	}
+	// Re-encoding is stable (map keys are sorted by encoding/json).
+	data2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("JSON encoding not stable:\n%s\nvs\n%s", data, data2)
 	}
 }

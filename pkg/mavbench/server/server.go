@@ -1,0 +1,365 @@
+// Package server implements the mavbenchd HTTP service: the /v1 network
+// surface over the pkg/mavbench Campaign engine.
+//
+// Endpoints:
+//
+//	POST /v1/campaigns                  submit a campaign ({"specs": [...]})
+//	GET  /v1/campaigns/{id}            campaign status summary
+//	GET  /v1/campaigns/{id}/results    stream results as NDJSON, as they complete
+//	GET  /v1/workloads                 registered workloads and valid knob values
+//	GET  /v1/specs/{hash}              canonical spec for a known content address
+//
+// Results stream incrementally: a client reading the NDJSON response sees
+// each run's result the moment it completes, long before the campaign
+// finishes. Submitting the same spec twice (across campaigns) is served from
+// the shared content-addressed cache without re-simulating.
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"mavbench/pkg/mavbench"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Workers bounds each campaign's worker pool (<= 0 = one per CPU).
+	Workers int
+	// Cache is the shared content-addressed result cache; nil installs a
+	// bounded in-memory cache (4096 entries, FIFO eviction). Use
+	// DisableCache to turn caching off.
+	Cache mavbench.ResultCache
+	// DisableCache turns the result cache off entirely.
+	DisableCache bool
+	// MaxCampaignSpecs caps the number of specs accepted per submission
+	// (0 = default 1024).
+	MaxCampaignSpecs int
+	// MaxCampaigns caps how many campaigns (with their results and spec
+	// index entries) the server retains; the oldest are evicted first and
+	// their ids return 404 afterwards (0 = default 256). This bounds the
+	// service's memory under sustained submission.
+	MaxCampaigns int
+}
+
+// Server is the mavbenchd HTTP service. Construct with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg   Config
+	cache mavbench.ResultCache
+
+	mu        sync.RWMutex
+	campaigns map[string]*campaign
+	order     []string                 // campaign ids, submission order (for eviction)
+	specs     map[string]mavbench.Spec // content address -> canonical spec
+	specRefs  map[string]int           // content address -> retaining campaigns
+}
+
+// campaign is the server-side state of one submitted campaign. Results
+// append under mu; updated is re-made on every append and closed to wake
+// streaming readers (a broadcast without condition variables).
+type campaign struct {
+	id    string
+	specs []mavbench.Spec
+
+	mu      sync.Mutex
+	results []mavbench.Result
+	done    bool
+	updated chan struct{}
+}
+
+// snapshot returns the results at or after offset, whether the campaign is
+// finished, and a channel that closes on the next change.
+func (c *campaign) snapshot(offset int) ([]mavbench.Result, bool, <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var tail []mavbench.Result
+	if offset < len(c.results) {
+		tail = append(tail, c.results[offset:]...)
+	}
+	return tail, c.done, c.updated
+}
+
+func (c *campaign) append(res mavbench.Result) {
+	c.mu.Lock()
+	c.results = append(c.results, res)
+	close(c.updated)
+	c.updated = make(chan struct{})
+	c.mu.Unlock()
+}
+
+func (c *campaign) finish() {
+	c.mu.Lock()
+	c.done = true
+	close(c.updated)
+	c.updated = make(chan struct{})
+	c.mu.Unlock()
+}
+
+// New constructs the service.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:       cfg,
+		cache:     cfg.Cache,
+		campaigns: map[string]*campaign{},
+		specs:     map[string]mavbench.Spec{},
+		specRefs:  map[string]int{},
+	}
+	if s.cache == nil && !cfg.DisableCache {
+		// Bounded: a long-running service must not let unique-spec traffic
+		// grow the cache without limit.
+		s.cache = mavbench.NewBoundedMemoryCache(4096)
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler (the /v1 API).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/specs/{hash}", s.handleSpec)
+	return mux
+}
+
+// submitRequest is the POST /v1/campaigns body.
+type submitRequest struct {
+	Specs []mavbench.Spec `json:"specs"`
+}
+
+// submitResponse acknowledges a submission.
+type submitResponse struct {
+	ID         string   `json:"id"`
+	Count      int      `json:"count"`
+	SpecHashes []string `json:"spec_hashes"`
+	ResultsURL string   `json:"results_url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	if len(req.Specs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf(`campaign has no specs (body: {"specs": [...]})`))
+		return
+	}
+	maxSpecs := s.cfg.MaxCampaignSpecs
+	if maxSpecs <= 0 {
+		maxSpecs = 1024
+	}
+	if len(req.Specs) > maxSpecs {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("campaign has %d specs, limit is %d", len(req.Specs), maxSpecs))
+		return
+	}
+	hashes := make([]string, len(req.Specs))
+	for i, spec := range req.Specs {
+		if err := spec.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("spec %d: %w", i, err))
+			return
+		}
+		hashes[i] = spec.Hash()
+	}
+
+	c := &campaign{id: newID(), specs: req.Specs, updated: make(chan struct{})}
+	s.mu.Lock()
+	s.campaigns[c.id] = c
+	s.order = append(s.order, c.id)
+	for i, spec := range req.Specs {
+		s.specs[hashes[i]] = spec.Canonical()
+		s.specRefs[hashes[i]]++
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+
+	// Execute in the background; the request context must not cancel the
+	// campaign (clients collect results from the streaming endpoint).
+	eng := mavbench.NewCampaign(req.Specs...).SetWorkers(s.cfg.Workers)
+	if s.cache != nil {
+		eng.SetCache(s.cache)
+	}
+	go func() {
+		for res := range eng.Stream(nil) {
+			c.append(res)
+		}
+		c.finish()
+	}()
+
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID:         c.id,
+		Count:      len(req.Specs),
+		SpecHashes: hashes,
+		ResultsURL: "/v1/campaigns/" + c.id + "/results",
+	})
+}
+
+// statusResponse is the GET /v1/campaigns/{id} body.
+type statusResponse struct {
+	ID        string `json:"id"`
+	Count     int    `json:"count"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	Done      bool   `json:"done"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(r.PathValue("id"))
+	if c == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", r.PathValue("id")))
+		return
+	}
+	results, done, _ := c.snapshot(0)
+	failed := 0
+	for _, res := range results {
+		if !res.OK() {
+			failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, statusResponse{
+		ID: c.id, Count: len(c.specs), Completed: len(results), Failed: failed, Done: done,
+	})
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(r.PathValue("id"))
+	if c == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	offset := 0
+	for {
+		// snapshot reads the results and the done flag under one lock, so
+		// "tail empty and done" means everything has been streamed.
+		tail, done, updated := c.snapshot(offset)
+		for _, res := range tail {
+			if err := enc.Encode(res); err != nil {
+				return // client gone
+			}
+		}
+		offset += len(tail)
+		if len(tail) > 0 {
+			if flusher != nil {
+				flusher.Flush()
+			}
+			continue // more may have arrived while writing
+		}
+		if done {
+			return
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// workloadsResponse is the GET /v1/workloads body: the registered workloads
+// plus every valid knob value, so clients can build specs without guessing.
+type workloadsResponse struct {
+	Workloads    []mavbench.WorkloadInfo   `json:"workloads"`
+	Detectors    []string                  `json:"detectors"`
+	Localizers   []string                  `json:"localizers"`
+	Planners     []string                  `json:"planners"`
+	Environments []string                  `json:"environments"`
+	PaperPoints  []mavbench.OperatingPoint `json:"paper_operating_points"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, workloadsResponse{
+		Workloads:    mavbench.Workloads(),
+		Detectors:    mavbench.Detectors(),
+		Localizers:   mavbench.Localizers(),
+		Planners:     mavbench.Planners(),
+		Environments: mavbench.Environments(),
+		PaperPoints:  mavbench.PaperOperatingPoints(),
+	})
+}
+
+// specResponse is the GET /v1/specs/{hash} body.
+type specResponse struct {
+	Hash string        `json:"hash"`
+	Spec mavbench.Spec `json:"spec"`
+}
+
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	s.mu.RLock()
+	spec, ok := s.specs[hash]
+	s.mu.RUnlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown spec hash %q (only specs from submitted campaigns are addressable)", hash))
+		return
+	}
+	writeJSON(w, http.StatusOK, specResponse{Hash: hash, Spec: spec})
+}
+
+func (s *Server) campaign(id string) *campaign {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.campaigns[id]
+}
+
+// evictLocked drops the oldest campaigns (and their now-unreferenced spec
+// index entries) once the retention cap is exceeded. A still-running evicted
+// campaign finishes normally — in-flight streams keep their *campaign
+// pointer — it just stops being addressable by id. Caller holds s.mu.
+func (s *Server) evictLocked() {
+	maxCampaigns := s.cfg.MaxCampaigns
+	if maxCampaigns <= 0 {
+		maxCampaigns = 256
+	}
+	for len(s.order) > maxCampaigns {
+		id := s.order[0]
+		s.order = s.order[1:]
+		c := s.campaigns[id]
+		delete(s.campaigns, id)
+		if c == nil {
+			continue
+		}
+		for _, spec := range c.specs {
+			hash := spec.Hash()
+			if s.specRefs[hash]--; s.specRefs[hash] <= 0 {
+				delete(s.specRefs, hash)
+				delete(s.specs, hash)
+			}
+		}
+	}
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// newID returns a random campaign identifier.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "c" + hex.EncodeToString(b[:])
+}

@@ -1,0 +1,110 @@
+package mavbench
+
+import (
+	"mavbench/internal/compute"
+	"mavbench/internal/core"
+	"mavbench/internal/telemetry"
+)
+
+// Report is the quality-of-flight summary of one run: mission time, energy
+// split, velocities, per-kernel compute profile, counters and traces. It is
+// an alias so external callers can name the type without importing internal
+// packages.
+type Report = telemetry.Report
+
+// CSVHeader returns the header row matching Report.CSVRow.
+func CSVHeader() string { return telemetry.CSVHeader() }
+
+// WorkloadInfo describes one registered benchmark application.
+type WorkloadInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// Workloads returns every registered benchmark application, sorted by name.
+func Workloads() []WorkloadInfo {
+	names := core.Workloads()
+	infos := make([]WorkloadInfo, 0, len(names))
+	for _, n := range names {
+		w, err := core.Lookup(n)
+		if err != nil {
+			continue
+		}
+		infos = append(infos, WorkloadInfo{Name: n, Description: w.Description()})
+	}
+	return infos
+}
+
+func workloadNames() []string { return core.Workloads() }
+
+// Detectors returns the valid object-detector kernel names.
+func Detectors() []string { return core.Detectors() }
+
+// Localizers returns the valid localization kernel names.
+func Localizers() []string { return core.Localizers() }
+
+// Planners returns the valid motion-planner kernel names.
+func Planners() []string { return core.Planners() }
+
+// Environments returns the valid environment-override names.
+func Environments() []string { return core.Environments() }
+
+// OffloadedKernels returns the names of the planning-stage kernels that
+// WithCloudOffload moves to the cloud server — the keys to look up in
+// Report.KernelTime when comparing edge and sensor-cloud runs.
+func OffloadedKernels() []string {
+	return []string{compute.KernelShortestPath, compute.KernelFrontierExplore, compute.KernelSmoothing}
+}
+
+// OperatingPoint is a (cores, frequency) pair, the unit of the paper's
+// compute sweeps.
+type OperatingPoint struct {
+	Cores   int     `json:"cores"`
+	FreqGHz float64 `json:"freq_ghz"`
+}
+
+// PaperOperatingPoints returns the nine TX2 operating points swept in the
+// paper's Figures 10-15 (2/3/4 cores × 0.8/1.5/2.2 GHz).
+func PaperOperatingPoints() []OperatingPoint {
+	pts := compute.PaperOperatingPoints()
+	out := make([]OperatingPoint, len(pts))
+	for i, pt := range pts {
+		out[i] = OperatingPoint{Cores: pt.Cores, FreqGHz: pt.FreqGHz}
+	}
+	return out
+}
+
+// DeriveSeed deterministically derives a per-run seed from a sweep's base
+// seed and the run's identity; see the engine's seed-derivation contract
+// (identical results at any worker count).
+func DeriveSeed(baseSeed int64, workload string, cores int, freqGHz float64, repeat int) int64 {
+	return core.DeriveSeed(baseSeed, workload, cores, freqGHz, repeat)
+}
+
+// SweepSpecs expands a base spec into one spec per operating point, each with
+// its seed derived from the point's identity — the primitive behind the
+// paper's heat maps. Pass the result to NewCampaign.
+func SweepSpecs(base Spec, points []OperatingPoint) []Spec {
+	cpts := make([]compute.OperatingPoint, len(points))
+	for i, pt := range points {
+		cpts[i] = compute.OperatingPoint{Cores: pt.Cores, FreqGHz: pt.FreqGHz}
+	}
+	runs := core.SweepParams(base.params(), cpts)
+	specs := make([]Spec, len(runs))
+	for i, p := range runs {
+		specs[i] = specFromParams(p)
+	}
+	return specs
+}
+
+// RepeatSpecs expands a base spec into n statistically independent repeats of
+// the same configuration, each with its seed derived from the repeat index
+// (the Table II pattern).
+func RepeatSpecs(base Spec, n int) []Spec {
+	runs := core.RepeatParams(base.params(), n)
+	specs := make([]Spec, len(runs))
+	for i, p := range runs {
+		specs[i] = specFromParams(p)
+	}
+	return specs
+}
