@@ -1,0 +1,207 @@
+// Golden-trace regression harness: every workload (plus kernel variants that
+// exercise the octomap and planner hot paths) is pinned to exact mission
+// metrics at a fixed seed. The simulator is deterministic, so these values
+// must match bit-for-bit on every platform and at every worker count; a kernel
+// "optimisation" that changes any simulated outcome — voxel classification,
+// planner path, collision count — fails this test loudly instead of silently
+// shifting the paper's reproduction numbers.
+//
+// Regenerate (only when an intentional behaviour change is being made) with:
+//
+//	go test -run TestGoldenTraces -update .
+package mavbench_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"mavbench/pkg/mavbench"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files instead of comparing")
+
+const goldenPath = "testdata/golden_traces.json"
+
+// goldenTrace pins the mission metrics of one spec. Floats are compared
+// exactly: the engine is deterministic and Go's JSON encoder round-trips
+// float64 losslessly.
+type goldenTrace struct {
+	Name     string        `json:"name"`
+	Spec     mavbench.Spec `json:"spec"`
+	SpecHash string        `json:"spec_hash"`
+
+	MissionTimeS    float64 `json:"mission_time_s"`
+	FlightTimeS     float64 `json:"flight_time_s"`
+	DistanceM       float64 `json:"distance_m"`
+	AverageSpeedMPS float64 `json:"average_speed_mps"`
+	TotalEnergyKJ   float64 `json:"total_energy_kj"`
+	RotorEnergyKJ   float64 `json:"rotor_energy_kj"`
+	ComputeEnergyKJ float64 `json:"compute_energy_kj"`
+	Collisions      float64 `json:"collisions"`
+	Replans         float64 `json:"replans"`
+	Success         bool    `json:"success"`
+	FailureReason   string  `json:"failure_reason,omitempty"`
+}
+
+// goldenSpecs builds the pinned spec set: the five workloads at the default
+// operating point, plus variants that stress each rewritten kernel (all three
+// planners, static coarse and dynamic octomap resolution, the weakest and
+// strongest operating points, depth noise and SLAM localization).
+func goldenSpecs(t testing.TB) []struct {
+	name string
+	spec mavbench.Spec
+} {
+	t.Helper()
+	mk := func(name, workload string, opts ...mavbench.Option) struct {
+		name string
+		spec mavbench.Spec
+	} {
+		base := []mavbench.Option{
+			mavbench.WithSeed(1234),
+			mavbench.WithWorldScale(0.35),
+			mavbench.WithMaxMissionTime(420),
+		}
+		spec, err := mavbench.NewSpec(workload, append(base, opts...)...)
+		if err != nil {
+			t.Fatalf("building golden spec %s: %v", name, err)
+		}
+		return struct {
+			name string
+			spec mavbench.Spec
+		}{name, spec}
+	}
+	return []struct {
+		name string
+		spec mavbench.Spec
+	}{
+		mk("scanning/default", "scanning"),
+		mk("package_delivery/default", "package_delivery"),
+		mk("mapping_3d/default", "mapping_3d"),
+		mk("search_and_rescue/default", "search_and_rescue"),
+		mk("aerial_photography/default", "aerial_photography"),
+
+		mk("package_delivery/planner=rrt", "package_delivery", mavbench.WithPlanner("rrt")),
+		mk("package_delivery/planner=prm", "package_delivery", mavbench.WithPlanner("prm")),
+		mk("package_delivery/resolution=0.80", "package_delivery", mavbench.WithOctomapResolution(0.80)),
+		mk("package_delivery/depth_noise=0.5", "package_delivery", mavbench.WithDepthNoise(0.5)),
+		mk("mapping_3d/dynamic_resolution", "mapping_3d", mavbench.WithDynamicResolution(0.15, 0.80)),
+		mk("mapping_3d/localizer=orb_slam2", "mapping_3d", mavbench.WithLocalizer("orb_slam2")),
+		mk("scanning/point=2x0.8", "scanning", mavbench.WithOperatingPoint(2, 0.8)),
+		mk("search_and_rescue/point=4x2.2", "search_and_rescue", mavbench.WithOperatingPoint(4, 2.2)),
+
+		// Cloud offload routes planning kernels over the network, pricing the
+		// serialized map by Map.MemoryBytes — the one path whose simulated
+		// results legitimately changed when MemoryBytes switched to the
+		// chunked layout's real footprint. Pinned so it can never drift
+		// silently again.
+		mk("package_delivery/cloud_offload=lan", "package_delivery", mavbench.WithCloudOffload(mavbench.LAN1Gbps())),
+	}
+}
+
+func traceFromResult(name string, res mavbench.Result) goldenTrace {
+	return goldenTrace{
+		Name:            name,
+		Spec:            res.Spec,
+		SpecHash:        res.SpecHash,
+		MissionTimeS:    res.Report.MissionTimeS,
+		FlightTimeS:     res.Report.FlightTimeS,
+		DistanceM:       res.Report.DistanceM,
+		AverageSpeedMPS: res.Report.AverageSpeed,
+		TotalEnergyKJ:   res.Report.TotalEnergyKJ,
+		RotorEnergyKJ:   res.Report.RotorEnergyKJ,
+		ComputeEnergyKJ: res.Report.ComputeEnergyKJ,
+		Collisions:      res.Report.Counters["collisions"],
+		Replans:         res.Report.Counters["replans"],
+		Success:         res.Report.Success,
+		FailureReason:   res.Report.FailureReason,
+	}
+}
+
+// runGoldenCampaign executes the golden spec set on a campaign with the given
+// worker count and returns one trace per spec, in spec order.
+func runGoldenCampaign(t testing.TB, workers int) []goldenTrace {
+	t.Helper()
+	entries := goldenSpecs(t)
+	specs := make([]mavbench.Spec, len(entries))
+	for i, e := range entries {
+		specs[i] = e.spec
+	}
+	results, err := mavbench.NewCampaign(specs...).SetWorkers(workers).Collect(nil)
+	if err != nil {
+		t.Fatalf("golden campaign failed: %v", err)
+	}
+	traces := make([]goldenTrace, len(results))
+	for i, res := range results {
+		traces[i] = traceFromResult(entries[i].name, res)
+	}
+	return traces
+}
+
+func TestGoldenTraces(t *testing.T) {
+	got := runGoldenCampaign(t, 1)
+
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d traces", goldenPath, len(got))
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	var want []goldenTrace
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d traces, harness produced %d (regenerate with -update)", len(want), len(got))
+	}
+	for i := range got {
+		if g, w := traceJSON(t, got[i]), traceJSON(t, want[i]); g != w {
+			t.Errorf("trace %q diverged from golden:\n got: %s\nwant: %s", got[i].Name, g, w)
+		}
+	}
+}
+
+// traceJSON canonicalizes a trace for comparison. (Spec holds a *CloudLink,
+// so direct struct equality would compare pointer addresses.)
+func traceJSON(t testing.TB, tr goldenTrace) string {
+	t.Helper()
+	buf, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestGoldenTracesWorkerInvariance re-runs the golden campaign with one
+// worker per CPU and requires results identical to the sequential run: the
+// kernel hot paths must not leak any scheduling or shared-state dependence
+// into mission outcomes at any pool size.
+func TestGoldenTracesWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sequential := runGoldenCampaign(t, 1)
+	parallel := runGoldenCampaign(t, runtime.GOMAXPROCS(0))
+	for i := range sequential {
+		if s, p := traceJSON(t, sequential[i]), traceJSON(t, parallel[i]); s != p {
+			t.Errorf("trace %q differs across worker counts:\n  workers=1: %s\n  workers=N: %s",
+				sequential[i].Name, s, p)
+		}
+	}
+}

@@ -13,12 +13,20 @@
 // checking, and unknown-space enumeration for frontier exploration. Coarser
 // resolutions inflate obstacles and cost less to update — the accuracy versus
 // compute trade-off of Figures 17-19.
+//
+// Storage is chunked dense (see chunk.go): 16^3-voxel blocks keyed by chunk
+// coordinate, with flat log-odds arrays and a known bitmap per block. The
+// layout is behaviourally identical to a per-voxel hash map — the golden
+// traces in the repository root pin that equivalence — but ray carving and
+// sphere collision queries run on array accesses instead of per-voxel
+// hashing.
 package octomap
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"unsafe"
 
 	"mavbench/internal/geom"
 )
@@ -58,15 +66,36 @@ const (
 	occupiedLogOdds = 0.0 // threshold: > 0 means occupied
 )
 
-// Map is the occupancy octree. The implementation stores leaves in a hash map
-// keyed by voxel index, which gives the octree's sparse storage behaviour
-// (only observed space consumes memory) with simpler code; an explicit
-// hierarchy is kept for the coarse "inner node" queries used by planners.
+// Map is the occupancy octree. Observed voxels live in chunked dense storage
+// (16^3 blocks in a hash map of chunks), which keeps the octree's sparse
+// behaviour at chunk granularity; an explicit hierarchy is still not needed
+// for the coarse "inner node" queries used by planners.
+//
+// A Map is not safe for concurrent use: even read queries move the internal
+// chunk cache. Every simulator run owns its own Map.
 type Map struct {
 	resolution float64
 	bounds     geom.AABB
 
-	leaves map[voxelKey]float64 // log-odds per observed voxel
+	chunks    map[chunkKey]*chunk
+	leafCount int
+	// version increments on every voxel write; collision-check caches key
+	// their entries on it to stay coherent with the evolving map.
+	version uint64
+
+	// Single-entry chunk cache serving the ray-traversal and sphere-query
+	// locality (see chunkAt/chunkCreate). cacheChunk may be a cached miss
+	// (nil) when cacheValid is set.
+	cacheKey   chunkKey
+	cacheChunk *chunk
+	cacheValid bool
+
+	// sphereOffsets caches, per query radius, the pruned voxel-offset
+	// neighbourhood CollidesSphere scans. A mission uses only a handful of
+	// distinct radii, so this is a tiny map of reusable scratch buffers.
+	sphereOffsets map[float64][]voxelKey
+	// keyScratch is reused across FrontierCells calls.
+	keyScratch []leafEntry
 
 	inserts     uint64
 	raysTraced  uint64
@@ -75,15 +104,21 @@ type Map struct {
 
 type voxelKey struct{ X, Y, Z int32 }
 
+type leafEntry struct {
+	key voxelKey
+	lo  float64
+}
+
 // New creates an empty map covering bounds with the given voxel edge length.
 func New(resolution float64, bounds geom.AABB) *Map {
 	if resolution <= 0 {
 		resolution = 0.15
 	}
 	return &Map{
-		resolution: resolution,
-		bounds:     bounds,
-		leaves:     map[voxelKey]float64{},
+		resolution:    resolution,
+		bounds:        bounds,
+		chunks:        map[chunkKey]*chunk{},
+		sphereOffsets: map[float64][]voxelKey{},
 	}
 }
 
@@ -94,10 +129,27 @@ func (m *Map) Resolution() float64 { return m.resolution }
 func (m *Map) Bounds() geom.AABB { return m.bounds }
 
 // LeafCount returns the number of observed voxels.
-func (m *Map) LeafCount() int { return len(m.leaves) }
+func (m *Map) LeafCount() int { return m.leafCount }
 
-// MemoryBytes estimates the map's memory footprint (key + value per leaf).
-func (m *Map) MemoryBytes() int { return len(m.leaves) * (12 + 8) }
+// Version increments on every voxel write. Collision-check caches use it to
+// detect that the map has changed under them.
+func (m *Map) Version() uint64 { return m.version }
+
+// ChunkCount returns the number of allocated 16^3-voxel chunks.
+func (m *Map) ChunkCount() int { return len(m.chunks) }
+
+// Bytes actually held per allocated chunk: the dense block itself plus its
+// hash-map entry (key, chunk pointer, and amortised bucket overhead — Go maps
+// keep 8 slots of key+value plus a tophash byte and overflow pointer per
+// bucket, about 2.4 words per entry at default load factors).
+const chunkEntryBytes = int(unsafe.Sizeof(chunk{})) + int(unsafe.Sizeof(chunkKey{})) + int(unsafe.Sizeof((*chunk)(nil))) + 20
+
+// MemoryBytes reports the map's actual storage: every allocated chunk's dense
+// arrays plus hash-map entry overhead. Unlike the seed's per-leaf estimate
+// (which ignored bucket overhead entirely), this is the real footprint of the
+// chunked layout — it also prices partially-filled chunks honestly, which is
+// what the cloud-offload path serialises.
+func (m *Map) MemoryBytes() int { return len(m.chunks) * chunkEntryBytes }
 
 // Inserts returns how many point clouds have been integrated.
 func (m *Map) Inserts() uint64 { return m.inserts }
@@ -116,9 +168,7 @@ func (m *Map) key(p geom.Vec3) voxelKey {
 	}
 }
 
-// VoxelCenter returns the center of the voxel containing p.
-func (m *Map) VoxelCenter(p geom.Vec3) geom.Vec3 {
-	k := m.key(p)
+func (m *Map) center(k voxelKey) geom.Vec3 {
 	return geom.Vec3{
 		X: (float64(k.X) + 0.5) * m.resolution,
 		Y: (float64(k.Y) + 0.5) * m.resolution,
@@ -126,15 +176,28 @@ func (m *Map) VoxelCenter(p geom.Vec3) geom.Vec3 {
 	}
 }
 
+// VoxelCenter returns the center of the voxel containing p.
+func (m *Map) VoxelCenter(p geom.Vec3) geom.Vec3 {
+	return m.center(m.key(p))
+}
+
 func (m *Map) update(k voxelKey, delta float64) {
-	v := m.leaves[k] + delta
+	ck, li := chunkOf(k)
+	c := m.chunkCreate(ck)
+	// An unknown voxel's slot holds 0.0, the same implicit default a missing
+	// hash-map entry used to read — update arithmetic stays bit-identical.
+	v := c.logOdds[li] + delta
 	if v > logOddsMax {
 		v = logOddsMax
 	}
 	if v < logOddsMin {
 		v = logOddsMin
 	}
-	m.leaves[k] = v
+	c.logOdds[li] = v
+	if c.markKnown(li) {
+		m.leafCount++
+	}
+	m.version++
 }
 
 // MarkOccupied registers an occupied observation at p.
@@ -180,7 +243,9 @@ func (m *Map) InsertRay(origin, end geom.Vec3, maxRange float64) {
 }
 
 // InsertPointCloud integrates a sensor scan: each point carves a free ray
-// from the sensor origin and marks its endpoint occupied.
+// from the sensor origin and marks its endpoint occupied. Consecutive rays of
+// a scan sweep neighbouring space, so the batch runs almost entirely on the
+// chunk cache.
 func (m *Map) InsertPointCloud(origin geom.Vec3, points []geom.Vec3, maxRange float64) {
 	for _, p := range points {
 		m.InsertRay(origin, p, maxRange)
@@ -190,7 +255,7 @@ func (m *Map) InsertPointCloud(origin geom.Vec3, points []geom.Vec3, maxRange fl
 
 // At returns the occupancy classification of point p.
 func (m *Map) At(p geom.Vec3) Occupancy {
-	lo, ok := m.leaves[m.key(p)]
+	lo, ok := m.logOddsAt(m.key(p))
 	if !ok {
 		return Unknown
 	}
@@ -203,7 +268,7 @@ func (m *Map) At(p geom.Vec3) Occupancy {
 // OccupancyProbability returns the estimated occupancy probability of p
 // (0.5 for unknown space).
 func (m *Map) OccupancyProbability(p geom.Vec3) float64 {
-	lo, ok := m.leaves[m.key(p)]
+	lo, ok := m.logOddsAt(m.key(p))
 	if !ok {
 		return 0.5
 	}
@@ -216,36 +281,65 @@ func (m *Map) IsOccupied(p geom.Vec3) bool { return m.At(p) == Occupied }
 // IsFree reports whether p falls in an observed-free voxel.
 func (m *Map) IsFree(p geom.Vec3) bool { return m.At(p) == Free }
 
-// CollidesSphere reports whether a sphere of the given radius centered at p
-// overlaps any occupied voxel. treatUnknownAsOccupied selects conservative
-// behaviour (the planner's default) versus optimistic behaviour.
-func (m *Map) CollidesSphere(p geom.Vec3, radius float64, treatUnknownAsOccupied bool) bool {
-	r := int(math.Ceil(radius/m.resolution)) + 1
-	center := m.key(p)
+// offsetsFor returns the voxel-offset neighbourhood a sphere query of the
+// given radius must examine, cached per radius. Offsets whose voxel can never
+// pass the exact per-voxel distance filter — the voxel centre is farther from
+// every point of the query's own voxel than the filter allows — are pruned
+// once here instead of being re-rejected on every query.
+func (m *Map) offsetsFor(radius float64, r int) []voxelKey {
+	if offs, ok := m.sphereOffsets[radius]; ok {
+		return offs
+	}
+	// The exact filter keeps voxels with centre within radius + 0.87*res of
+	// the query point p. p lies somewhere in its own voxel, at most half a
+	// voxel diagonal (sqrt(3)/2 voxels) from that voxel's centre, so any
+	// offset farther than radius/res + 0.87 + sqrt(3)/2 voxels (plus float
+	// slack) fails the exact test for every possible p.
+	bound := radius/m.resolution + 0.87 + math.Sqrt(3)/2 + 1e-9
+	boundSq := bound * bound
+	offs := make([]voxelKey, 0, (2*r+1)*(2*r+1)*(2*r+1))
 	for dx := -r; dx <= r; dx++ {
 		for dy := -r; dy <= r; dy++ {
 			for dz := -r; dz <= r; dz++ {
-				k := voxelKey{center.X + int32(dx), center.Y + int32(dy), center.Z + int32(dz)}
-				vc := geom.Vec3{
-					X: (float64(k.X) + 0.5) * m.resolution,
-					Y: (float64(k.Y) + 0.5) * m.resolution,
-					Z: (float64(k.Z) + 0.5) * m.resolution,
-				}
-				if vc.Dist(p) > radius+m.resolution*0.87 {
+				if float64(dx*dx+dy*dy+dz*dz) > boundSq {
 					continue
 				}
-				lo, ok := m.leaves[k]
-				if !ok {
-					if treatUnknownAsOccupied {
-						return true
-					}
-					continue
-				}
-				if lo > occupiedLogOdds {
-					return true
-				}
+				offs = append(offs, voxelKey{int32(dx), int32(dy), int32(dz)})
 			}
 		}
+	}
+	m.sphereOffsets[radius] = offs
+	return offs
+}
+
+// CollidesSphere reports whether a sphere of the given radius centered at p
+// overlaps any occupied voxel. treatUnknownAsOccupied selects conservative
+// behaviour (the planner's default) versus optimistic behaviour.
+//
+// The exact per-voxel distance filter only gates positive verdicts — a voxel
+// that would be skipped as free (or, optimistically, unknown) is skipped
+// whether or not it passes the filter — so occupancy is looked up first and
+// the filter's square root is paid only for voxels that could actually
+// trigger a collision. The verdict is identical to filtering every voxel.
+func (m *Map) CollidesSphere(p geom.Vec3, radius float64, treatUnknownAsOccupied bool) bool {
+	r := int(math.Ceil(radius/m.resolution)) + 1
+	center := m.key(p)
+	limit := radius + m.resolution*0.87
+	for _, off := range m.offsetsFor(radius, r) {
+		k := voxelKey{center.X + off.X, center.Y + off.Y, center.Z + off.Z}
+		lo, known := m.logOddsAt(k)
+		if known && lo <= occupiedLogOdds {
+			continue // free voxel: never a collision, filter irrelevant
+		}
+		if !known && !treatUnknownAsOccupied {
+			continue // optimistic: unknown never collides, filter irrelevant
+		}
+		// Occupied (or conservatively unknown) voxel: the exact distance
+		// filter decides whether it is actually inside the sphere.
+		if m.center(k).Dist(p) > limit {
+			continue
+		}
+		return true
 	}
 	return false
 }
@@ -280,15 +374,15 @@ type Stats struct {
 
 // Stats computes summary statistics by scanning the leaves.
 func (m *Map) Stats() Stats {
-	s := Stats{Resolution: m.resolution, Leaves: len(m.leaves), MemoryBytes: m.MemoryBytes()}
+	s := Stats{Resolution: m.resolution, Leaves: m.leafCount, MemoryBytes: m.MemoryBytes()}
 	voxVol := m.resolution * m.resolution * m.resolution
-	for _, lo := range m.leaves {
+	m.forEachLeaf(func(_ voxelKey, lo float64) {
 		if lo > occupiedLogOdds {
 			s.Occupied++
 		} else {
 			s.Free++
 		}
-	}
+	})
 	s.KnownVolumeM3 = float64(s.Leaves) * voxVol
 	s.OccupiedVolumeM3 = float64(s.Occupied) * voxVol
 	return s
@@ -315,12 +409,12 @@ func (m *Map) KnownFraction() float64 {
 func (m *Map) FrontierCells(limit int) []geom.Vec3 {
 	var out []geom.Vec3
 	neighbours := [6]voxelKey{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
-	keys := make([]voxelKey, 0, len(m.leaves))
-	for k := range m.leaves {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
+	leaves := m.keyScratch[:0]
+	m.forEachLeaf(func(k voxelKey, lo float64) {
+		leaves = append(leaves, leafEntry{k, lo})
+	})
+	sort.Slice(leaves, func(i, j int) bool {
+		a, b := leaves[i].key, leaves[j].key
 		if a.X != b.X {
 			return a.X < b.X
 		}
@@ -329,39 +423,31 @@ func (m *Map) FrontierCells(limit int) []geom.Vec3 {
 		}
 		return a.Z < b.Z
 	})
-	for _, k := range keys {
-		lo := m.leaves[k]
-		if lo > occupiedLogOdds {
+	for _, leaf := range leaves {
+		k := leaf.key
+		if leaf.lo > occupiedLogOdds {
 			continue // only free cells can be frontiers
 		}
 		frontier := false
 		for _, d := range neighbours {
 			nk := voxelKey{k.X + d.X, k.Y + d.Y, k.Z + d.Z}
-			if _, known := m.leaves[nk]; !known {
+			if _, known := m.logOddsAt(nk); !known {
 				// The neighbour must also be inside the map bounds for it to
 				// be worth exploring.
-				nc := geom.Vec3{
-					X: (float64(nk.X) + 0.5) * m.resolution,
-					Y: (float64(nk.Y) + 0.5) * m.resolution,
-					Z: (float64(nk.Z) + 0.5) * m.resolution,
-				}
-				if m.bounds.Contains(nc) {
+				if m.bounds.Contains(m.center(nk)) {
 					frontier = true
 					break
 				}
 			}
 		}
 		if frontier {
-			out = append(out, geom.Vec3{
-				X: (float64(k.X) + 0.5) * m.resolution,
-				Y: (float64(k.Y) + 0.5) * m.resolution,
-				Z: (float64(k.Z) + 0.5) * m.resolution,
-			})
+			out = append(out, m.center(k))
 			if limit > 0 && len(out) >= limit {
 				break
 			}
 		}
 	}
+	m.keyScratch = leaves
 	return out
 }
 
@@ -370,30 +456,32 @@ func (m *Map) FrontierCells(limit int) []geom.Vec3 {
 // the energy case study does when it switches between 0.15 m and 0.80 m.
 func (m *Map) Rebuild(resolution float64) *Map {
 	out := New(resolution, m.bounds)
-	for k, lo := range m.leaves {
-		center := geom.Vec3{
-			X: (float64(k.X) + 0.5) * m.resolution,
-			Y: (float64(k.Y) + 0.5) * m.resolution,
-			Z: (float64(k.Z) + 0.5) * m.resolution,
-		}
-		nk := out.key(center)
-		// Occupied observations dominate free ones when cells merge.
+	m.forEachLeaf(func(k voxelKey, lo float64) {
+		nk := out.key(m.center(k))
+		cur, exists := out.logOddsAt(nk)
+		// Occupied observations dominate free ones when cells merge. The
+		// branch structure mirrors the seed's hash-map version (where a
+		// missing entry read as 0.0); merging is order-independent, so the
+		// chunk iteration order does not matter.
 		if lo > occupiedLogOdds {
-			out.leaves[nk] = math.Max(out.leaves[nk], logOddsMax)
-		} else if _, exists := out.leaves[nk]; !exists {
-			out.leaves[nk] = lo
-		} else if out.leaves[nk] <= occupiedLogOdds {
-			out.leaves[nk] = math.Min(out.leaves[nk], lo)
+			out.setLogOdds(nk, math.Max(cur, logOddsMax))
+		} else if !exists {
+			out.setLogOdds(nk, lo)
+		} else if cur <= occupiedLogOdds {
+			out.setLogOdds(nk, math.Min(cur, lo))
 		}
-	}
+	})
 	out.inserts = m.inserts
 	return out
 }
 
 // Clear removes all observations.
 func (m *Map) Clear() {
-	m.leaves = map[voxelKey]float64{}
+	m.chunks = map[chunkKey]*chunk{}
+	m.cacheChunk = nil
+	m.leafCount = 0
 	m.inserts = 0
 	m.raysTraced = 0
 	m.pointsAdded = 0
+	m.version++
 }

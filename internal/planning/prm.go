@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"math"
 	"math/rand"
+	"sort"
 
 	"mavbench/internal/geom"
 )
@@ -61,19 +62,33 @@ func (p *PRM) Plan(req Request, checker CollisionChecker) Result {
 		}
 	}
 
-	// Connect each node to its k nearest neighbours within maxConn.
+	// Connect each node to its k nearest neighbours within maxConn. The
+	// candidates come from a grid index (cells the connection ball overlaps)
+	// instead of an O(n) scan per node; sorting them back into ascending-index
+	// order keeps the selection below — including its tie-breaks — identical
+	// to the seed's full scan, so the roadmap and the collision-check sequence
+	// are bit-for-bit the same.
+	index := NewPointIndex(maxConn)
+	for _, n := range nodes {
+		index.Add(n)
+	}
 	type edge struct {
 		to   int
 		cost float64
 	}
 	adj := make([][]edge, len(nodes))
+	type cand struct {
+		j int
+		d float64
+	}
+	var cands []cand
+	var candIdx []int32
 	for i := range nodes {
-		type cand struct {
-			j int
-			d float64
-		}
-		var cands []cand
-		for j := range nodes {
+		cands = cands[:0]
+		candIdx = index.CandidatesWithin(nodes[i], maxConn, candIdx[:0])
+		sort.Slice(candIdx, func(a, b int) bool { return candIdx[a] < candIdx[b] })
+		for _, j32 := range candIdx {
+			j := int(j32)
 			if i == j {
 				continue
 			}

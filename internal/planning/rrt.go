@@ -37,11 +37,15 @@ func (r *RRT) Plan(req Request, checker CollisionChecker) Result {
 	nodes := []geom.Vec3{req.Start}
 	parent := []int{-1}
 	goalIdx := -1
+	// Nearest-node lookups run on a grid index instead of an O(n) scan; the
+	// index's tie-breaking matches the scan's, so the tree is identical.
+	index := NewPointIndex(req.StepSize)
+	index.Add(req.Start)
 
 	for it := 0; it < req.MaxIterations; it++ {
 		res.Iterations = it + 1
 		sample := sampleBounds(rng, req.Bounds, req.Goal, goalBias)
-		ni := nearestIndex(nodes, sample)
+		ni := index.Nearest(sample)
 		from := nodes[ni]
 		dir := sample.Sub(from)
 		dist := dir.Norm()
@@ -61,6 +65,7 @@ func (r *RRT) Plan(req Request, checker CollisionChecker) Result {
 		}
 		nodes = append(nodes, to)
 		parent = append(parent, ni)
+		index.Add(to)
 
 		if to.Dist(req.Goal) <= req.GoalTolerance {
 			goalIdx = len(nodes) - 1
@@ -120,12 +125,18 @@ func (r *RRTConnect) Plan(req Request, checker CollisionChecker) Result {
 	type tree struct {
 		nodes  []geom.Vec3
 		parent []int
+		index  *PointIndex
 	}
-	a := &tree{nodes: []geom.Vec3{req.Start}, parent: []int{-1}}
-	b := &tree{nodes: []geom.Vec3{req.Goal}, parent: []int{-1}}
+	newTree := func(root geom.Vec3) *tree {
+		t := &tree{nodes: []geom.Vec3{root}, parent: []int{-1}, index: NewPointIndex(req.StepSize)}
+		t.index.Add(root)
+		return t
+	}
+	a := newTree(req.Start)
+	b := newTree(req.Goal)
 
 	extend := func(t *tree, target geom.Vec3) (int, bool) {
-		ni := nearestIndex(t.nodes, target)
+		ni := t.index.Nearest(target)
 		from := t.nodes[ni]
 		dir := target.Sub(from)
 		dist := dir.Norm()
@@ -144,6 +155,7 @@ func (r *RRTConnect) Plan(req Request, checker CollisionChecker) Result {
 		}
 		t.nodes = append(t.nodes, to)
 		t.parent = append(t.parent, ni)
+		t.index.Add(to)
 		return len(t.nodes) - 1, reached
 	}
 

@@ -1,0 +1,219 @@
+package planning
+
+import (
+	"math"
+
+	"mavbench/internal/geom"
+)
+
+// PointIndex is a uniform-grid spatial index over an append-only set of 3-D
+// points. It answers the two queries the sampling-based planners hammer —
+// nearest neighbour (RRT/RRT-Connect tree extension) and fixed-radius
+// candidate gathering (PRM roadmap connection) — in time proportional to the
+// local point density instead of the O(n) scans the seed used.
+//
+// Nearest is contractually equivalent to the brute-force scan it replaces:
+// it returns the index minimising squared distance, breaking exact ties by
+// lowest index, so planners produce bit-identical trees (the golden traces
+// pin this).
+type PointIndex struct {
+	cell float64
+	inv  float64
+	pts  []geom.Vec3
+
+	buckets map[gridCell][]int32
+	// Occupied-cell bounding box, bounding the ring search.
+	minCell, maxCell gridCell
+}
+
+type gridCell struct{ X, Y, Z int32 }
+
+// NewPointIndex creates an index with the given grid cell edge length. The
+// cell size should be on the order of the typical query radius (the planner's
+// step size or connection radius); it only affects speed, never results.
+func NewPointIndex(cell float64) *PointIndex {
+	if cell <= 0 {
+		cell = 1
+	}
+	return &PointIndex{
+		cell:    cell,
+		inv:     1 / cell,
+		buckets: map[gridCell][]int32{},
+	}
+}
+
+// Len returns the number of indexed points.
+func (ix *PointIndex) Len() int { return len(ix.pts) }
+
+// At returns the i-th added point.
+func (ix *PointIndex) At(i int) geom.Vec3 { return ix.pts[i] }
+
+func (ix *PointIndex) cellOf(p geom.Vec3) gridCell {
+	return gridCell{
+		X: int32(math.Floor(p.X * ix.inv)),
+		Y: int32(math.Floor(p.Y * ix.inv)),
+		Z: int32(math.Floor(p.Z * ix.inv)),
+	}
+}
+
+// Add appends a point and returns its index.
+func (ix *PointIndex) Add(p geom.Vec3) int {
+	i := len(ix.pts)
+	ix.pts = append(ix.pts, p)
+	c := ix.cellOf(p)
+	ix.buckets[c] = append(ix.buckets[c], int32(i))
+	if i == 0 {
+		ix.minCell, ix.maxCell = c, c
+	} else {
+		ix.minCell = minCellOf(ix.minCell, c)
+		ix.maxCell = maxCellOf(ix.maxCell, c)
+	}
+	return i
+}
+
+func minCellOf(a, b gridCell) gridCell {
+	return gridCell{min32(a.X, b.X), min32(a.Y, b.Y), min32(a.Z, b.Z)}
+}
+
+func maxCellOf(a, b gridCell) gridCell {
+	return gridCell{max32(a.X, b.X), max32(a.Y, b.Y), max32(a.Z, b.Z)}
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Nearest returns the index of the point closest to p (squared-distance
+// minimum, exact ties broken by lowest index, exactly like a brute-force
+// scan), or -1 if the index is empty.
+//
+// It scans grid cells in expanding Chebyshev rings around p's cell. Any point
+// in a cell at ring distance r is at least (r-1)*cell away, so once the best
+// squared distance found is strictly below that bound no unscanned point can
+// beat or tie it, and the search stops.
+func (ix *PointIndex) Nearest(p geom.Vec3) int {
+	if len(ix.pts) == 0 {
+		return -1
+	}
+	c := ix.cellOf(p)
+	// The ring at which the occupied bounding box is fully covered; beyond it
+	// there are no more cells to scan.
+	maxRing := 0
+	for _, d := range []int32{
+		c.X - ix.minCell.X, ix.maxCell.X - c.X,
+		c.Y - ix.minCell.Y, ix.maxCell.Y - c.Y,
+		c.Z - ix.minCell.Z, ix.maxCell.Z - c.Z,
+	} {
+		if int(d) > maxRing {
+			maxRing = int(d)
+		}
+	}
+	best := -1
+	bestD := math.Inf(1)
+	for ring := 0; ring <= maxRing; ring++ {
+		if best >= 0 {
+			// All remaining points are at least (ring-1)*cell away. Strict
+			// comparison: a point at exactly bestD could still have a lower
+			// index, so only stop once the bound strictly exceeds bestD.
+			bound := float64(ring-1) * ix.cell
+			if bound > 0 && bound*bound > bestD {
+				break
+			}
+		}
+		ix.scanRing(c, ring, func(i int32) {
+			d := ix.pts[i].DistSq(p)
+			if d < bestD || (d == bestD && int(i) < best) {
+				bestD = d
+				best = int(i)
+			}
+		})
+	}
+	return best
+}
+
+// scanRing visits every point bucket in the Chebyshev ring at distance ring
+// from c — the six faces of the (2r+1)³ shell, each clamped to the occupied
+// bounding box and skipped outright when its plane lies outside it. Work is
+// proportional to the shell's surface, not the enclosed volume.
+func (ix *PointIndex) scanRing(c gridCell, ring int, visit func(int32)) {
+	r := int32(ring)
+	if r == 0 {
+		ix.visitBucket(gridCell{c.X, c.Y, c.Z}, visit)
+		return
+	}
+	yLo, yHi := max32(ix.minCell.Y, c.Y-r), min32(ix.maxCell.Y, c.Y+r)
+	zLo, zHi := max32(ix.minCell.Z, c.Z-r), min32(ix.maxCell.Z, c.Z+r)
+	// X faces: the full (2r+1)² slabs at x = c.X ± r.
+	for _, x := range [2]int32{c.X - r, c.X + r} {
+		if x < ix.minCell.X || x > ix.maxCell.X {
+			continue
+		}
+		for y := yLo; y <= yHi; y++ {
+			for z := zLo; z <= zHi; z++ {
+				ix.visitBucket(gridCell{x, y, z}, visit)
+			}
+		}
+	}
+	// Y faces: x interior to avoid re-visiting the X-face edges.
+	xLo, xHi := max32(ix.minCell.X, c.X-r+1), min32(ix.maxCell.X, c.X+r-1)
+	for _, y := range [2]int32{c.Y - r, c.Y + r} {
+		if y < ix.minCell.Y || y > ix.maxCell.Y {
+			continue
+		}
+		for x := xLo; x <= xHi; x++ {
+			for z := zLo; z <= zHi; z++ {
+				ix.visitBucket(gridCell{x, y, z}, visit)
+			}
+		}
+	}
+	// Z faces: x and y interior.
+	yLo, yHi = max32(ix.minCell.Y, c.Y-r+1), min32(ix.maxCell.Y, c.Y+r-1)
+	for _, z := range [2]int32{c.Z - r, c.Z + r} {
+		if z < ix.minCell.Z || z > ix.maxCell.Z {
+			continue
+		}
+		for x := xLo; x <= xHi; x++ {
+			for y := yLo; y <= yHi; y++ {
+				ix.visitBucket(gridCell{x, y, z}, visit)
+			}
+		}
+	}
+}
+
+func (ix *PointIndex) visitBucket(c gridCell, visit func(int32)) {
+	for _, i := range ix.buckets[c] {
+		visit(i)
+	}
+}
+
+// CandidatesWithin appends to buf the indices of every point that may lie
+// within radius of p — a superset drawn from all grid cells overlapping the
+// ball; callers apply their own exact distance test. The returned slice
+// reuses buf's storage, and candidate order is unspecified.
+func (ix *PointIndex) CandidatesWithin(p geom.Vec3, radius float64, buf []int32) []int32 {
+	if len(ix.pts) == 0 || radius < 0 {
+		return buf
+	}
+	c := ix.cellOf(p)
+	r := int32(math.Ceil(radius*ix.inv)) + 1
+	lo := maxCellOf(ix.minCell, gridCell{c.X - r, c.Y - r, c.Z - r})
+	hi := minCellOf(ix.maxCell, gridCell{c.X + r, c.Y + r, c.Z + r})
+	for x := lo.X; x <= hi.X; x++ {
+		for y := lo.Y; y <= hi.Y; y++ {
+			for z := lo.Z; z <= hi.Z; z++ {
+				buf = append(buf, ix.buckets[gridCell{x, y, z}]...)
+			}
+		}
+	}
+	return buf
+}

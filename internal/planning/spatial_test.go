@@ -1,0 +1,131 @@
+package planning
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavbench/internal/geom"
+)
+
+// randomClouds yields point sets with the shapes planners actually produce:
+// uniform scatter, tight clusters (tree growth near the start), collinear
+// runs, and exact duplicates (repeated goal connections).
+func randomClouds(rng *rand.Rand, n int) []geom.Vec3 {
+	var pts []geom.Vec3
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0: // uniform
+			pts = append(pts, geom.V3(rng.Float64()*100-50, rng.Float64()*100-50, rng.Float64()*30))
+		case 1: // cluster
+			c := geom.V3(rng.Float64()*40-20, rng.Float64()*40-20, rng.Float64()*10)
+			pts = append(pts, c.Add(geom.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())))
+		case 2: // collinear run
+			t := rng.Float64() * 50
+			pts = append(pts, geom.V3(t, t*0.5, 5))
+		default: // duplicate of an earlier point
+			if len(pts) > 0 {
+				pts = append(pts, pts[rng.Intn(len(pts))])
+			} else {
+				pts = append(pts, geom.V3(0, 0, 0))
+			}
+		}
+	}
+	return pts
+}
+
+// TestPointIndexNearestMatchesBruteForce pins the index's contract: for any
+// point set and query, Nearest returns exactly what the seed's linear scan
+// returns — same index, including lowest-index tie-breaking on duplicates.
+func TestPointIndexNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(300)
+		cell := []float64{0.5, 2.5, 10, 50}[rng.Intn(4)]
+		pts := randomClouds(rng, n)
+		ix := NewPointIndex(cell)
+		for _, p := range pts {
+			ix.Add(p)
+		}
+		if ix.Len() != len(pts) {
+			t.Fatalf("index Len = %d, want %d", ix.Len(), len(pts))
+		}
+		for q := 0; q < 50; q++ {
+			// Mix nearby queries with far-outside-the-cloud queries.
+			query := geom.V3(rng.Float64()*400-200, rng.Float64()*400-200, rng.Float64()*120-60)
+			if q%2 == 0 {
+				query = pts[rng.Intn(len(pts))].Add(geom.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()))
+			}
+			got := ix.Nearest(query)
+			want := nearestIndex(pts, query)
+			if got != want {
+				t.Fatalf("trial %d cell %v: Nearest(%v) = %d (%v), brute force = %d (%v)",
+					trial, cell, query, got, pts[got], want, pts[want])
+			}
+		}
+	}
+}
+
+// TestPointIndexNearestTieBreaksByLowestIndex: duplicates must resolve the
+// way a forward linear scan resolves them.
+func TestPointIndexNearestTieBreaksByLowestIndex(t *testing.T) {
+	ix := NewPointIndex(2)
+	p := geom.V3(3, 4, 5)
+	ix.Add(geom.V3(100, 100, 10))
+	first := ix.Add(p)
+	ix.Add(p) // exact duplicate, higher index
+	ix.Add(p)
+	if got := ix.Nearest(geom.V3(3.1, 4, 5)); got != first {
+		t.Fatalf("tie broken to index %d, want the lowest (%d)", got, first)
+	}
+}
+
+// TestCandidatesWithinIsSuperset: every point truly within the radius must
+// appear among the candidates (the callers re-apply the exact test, so the
+// index may over-approximate but must never drop a neighbour).
+func TestCandidatesWithinIsSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 40; trial++ {
+		pts := randomClouds(rng, 1+rng.Intn(250))
+		cell := []float64{1, 5, 12}[rng.Intn(3)]
+		radius := rng.Float64() * 20
+		ix := NewPointIndex(cell)
+		for _, p := range pts {
+			ix.Add(p)
+		}
+		var buf []int32
+		for q := 0; q < 30; q++ {
+			query := pts[rng.Intn(len(pts))].Add(geom.V3(rng.NormFloat64()*5, rng.NormFloat64()*5, rng.NormFloat64()*5))
+			buf = ix.CandidatesWithin(query, radius, buf[:0])
+			got := map[int32]bool{}
+			for _, i := range buf {
+				got[i] = true
+			}
+			for i, p := range pts {
+				if p.Dist(query) <= radius && !got[int32(i)] {
+					t.Fatalf("trial %d: point %d (%v, dist %v) missing from candidates within %v of %v",
+						trial, i, p, p.Dist(query), radius, query)
+				}
+			}
+		}
+	}
+}
+
+func TestPointIndexEmptyAndDegenerate(t *testing.T) {
+	ix := NewPointIndex(0) // invalid cell size falls back to a default
+	if got := ix.Nearest(geom.V3(1, 2, 3)); got != -1 {
+		t.Fatalf("empty index Nearest = %d, want -1", got)
+	}
+	if buf := ix.CandidatesWithin(geom.V3(1, 2, 3), 5, nil); len(buf) != 0 {
+		t.Fatalf("empty index returned %d candidates", len(buf))
+	}
+	i := ix.Add(geom.V3(9, 9, 9))
+	if got := ix.Nearest(geom.V3(-100, -100, -100)); got != i {
+		t.Fatalf("single-point index Nearest = %d, want %d", got, i)
+	}
+	if ix.At(i) != geom.V3(9, 9, 9) {
+		t.Fatalf("At(%d) = %v", i, ix.At(i))
+	}
+	if buf := ix.CandidatesWithin(geom.V3(9, 9, 9), -1, nil); len(buf) != 0 {
+		t.Fatalf("negative radius returned %d candidates", len(buf))
+	}
+}

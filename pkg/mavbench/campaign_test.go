@@ -206,3 +206,44 @@ func TestRunConvenience(t *testing.T) {
 		t.Errorf("result = %+v", res)
 	}
 }
+
+// TestCampaignCancellationMidStream cancels a campaign after its first
+// result has already been delivered: the in-flight run must still surface
+// its result, runs that never started must be reported as canceled by
+// Collect-style consumers, and the stream must close promptly.
+func TestCampaignCancellationMidStream(t *testing.T) {
+	fast := &testWorkload{name: "api_midcancel_fast"}
+	gated := &testWorkload{name: "api_midcancel_gated", gate: make(chan struct{})}
+	core.Register(fast)
+	core.Register(gated)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	specs := []Spec{
+		mustSpec(t, fast.name, WithSeed(1), WithMaxMissionTime(30)),
+		mustSpec(t, gated.name, WithSeed(2), WithMaxMissionTime(30)),
+		mustSpec(t, gated.name, WithSeed(3), WithMaxMissionTime(30)),
+	}
+	ch := NewCampaign(specs...).SetWorkers(1).Stream(ctx)
+
+	first := recvResult(t, ch, "the fast run's result")
+	if first.Index != 0 || !first.OK() {
+		t.Fatalf("first streamed result = %+v", first)
+	}
+	// Run 1 is now blocked inside world construction. Cancel the campaign,
+	// then release the gate: the started run completes and streams; run 2
+	// must never start.
+	cancel()
+	close(gated.gate)
+
+	second := recvResult(t, ch, "the in-flight gated result")
+	if second.Index != 1 || !second.OK() {
+		t.Fatalf("in-flight run's result = %+v", second)
+	}
+	if res, ok := <-ch; ok {
+		t.Fatalf("unexpected result after cancellation: %+v", res)
+	}
+	if gated.runs.Load() != 1 {
+		t.Errorf("gated workload ran %d times, want 1 (run 2 canceled before start)", gated.runs.Load())
+	}
+}
