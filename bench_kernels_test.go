@@ -10,9 +10,12 @@
 //
 // TestEmitBenchJSON (gated by MAVBENCH_BENCH_JSON=1) runs the suite
 // programmatically and writes machine-readable BENCH_octomap.json,
-// BENCH_planning.json and BENCH_sweep.json at the repository root:
+// BENCH_planning.json and BENCH_sweep.json at the repository root — or under
+// MAVBENCH_BENCH_DIR when set, which is how CI generates a fresh run to gate
+// against the committed baselines with cmd/mavbench-benchdiff:
 //
 //	MAVBENCH_BENCH_JSON=1 go test -run TestEmitBenchJSON -v .
+//	MAVBENCH_BENCH_JSON=1 MAVBENCH_BENCH_DIR=/tmp/bench go test -run TestEmitBenchJSON -v .
 package mavbench_test
 
 import (
@@ -22,6 +25,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -276,6 +280,12 @@ func runBench(name string, fn func(b *testing.B)) benchEntry {
 }
 
 func writeBenchFile(t *testing.T, path, suite, desc string, entries []benchEntry) {
+	if dir := os.Getenv("MAVBENCH_BENCH_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		path = filepath.Join(dir, path)
+	}
 	f := benchFile{
 		Suite:       suite,
 		Description: desc,

@@ -1,0 +1,110 @@
+// Command mavbench-benchdiff compares fresh kernel-benchmark JSON against
+// the committed BENCH_*.json baselines and fails when any entry regressed
+// beyond the threshold — the CI benchmark-regression gate.
+//
+//	mavbench-benchdiff -threshold 0.30 BENCH_octomap.json /tmp/bench/BENCH_octomap.json
+//	mavbench-benchdiff -baseline-dir . -fresh-dir /tmp/bench octomap planning sweep
+//
+// Exit status: 0 when every matched entry is within the threshold, 1 when
+// anything regressed (or a baseline entry disappeared), 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mavbench/internal/benchcmp"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.30, "allowed slowdown before failing (0.30 = +30% ns/op)")
+	baselineDir := flag.String("baseline-dir", "", "directory of committed BENCH_<suite>.json files (suite-name mode)")
+	freshDir := flag.String("fresh-dir", "", "directory of freshly generated BENCH_<suite>.json files (suite-name mode)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage:\n  mavbench-benchdiff [-threshold 0.30] <baseline.json> <fresh.json>\n"+
+				"  mavbench-benchdiff [-threshold 0.30] -baseline-dir DIR -fresh-dir DIR <suite>...\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var pairs [][2]string
+	switch {
+	case *baselineDir != "" && *freshDir != "":
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "mavbench-benchdiff: suite-name mode needs at least one suite (e.g. octomap planning sweep)")
+			os.Exit(2)
+		}
+		for _, suite := range flag.Args() {
+			name := "BENCH_" + suite + ".json"
+			pairs = append(pairs, [2]string{filepath.Join(*baselineDir, name), filepath.Join(*freshDir, name)})
+		}
+	case flag.NArg() == 2:
+		pairs = append(pairs, [2]string{flag.Arg(0), flag.Arg(1)})
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pair := range pairs {
+		if !diff(pair[0], pair[1], *threshold) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// diff compares one baseline/fresh pair, prints the per-entry report, and
+// returns false when the pair fails the gate.
+func diff(baselinePath, freshPath string, threshold float64) bool {
+	baseline, err := benchcmp.Load(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mavbench-benchdiff:", err)
+		return false
+	}
+	fresh, err := benchcmp.Load(freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mavbench-benchdiff:", err)
+		return false
+	}
+	c := benchcmp.Compare(baseline, fresh)
+
+	fmt.Printf("suite %s (%s -> %s, threshold +%.0f%%)\n", c.Suite, baselinePath, freshPath, threshold*100)
+	for _, d := range c.Deltas {
+		verdict := "ok"
+		if d.Ratio > 1+threshold {
+			verdict = "REGRESSION"
+		}
+		speedup := ""
+		if d.OldSpeedup > 0 && d.NewSpeedup > 0 {
+			speedup = fmt.Sprintf("  speedup %.2fx -> %.2fx", d.OldSpeedup, d.NewSpeedup)
+		}
+		fmt.Printf("  %-40s %14.0f ns/op -> %14.0f ns/op  %+7.1f%%  %s%s\n",
+			d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100, verdict, speedup)
+	}
+	for _, name := range c.Missing {
+		fmt.Printf("  %-40s MISSING from fresh run\n", name)
+	}
+	for _, name := range c.Added {
+		fmt.Printf("  %-40s new entry (no baseline)\n", name)
+	}
+
+	regs := c.Regressions(threshold)
+	// The speedup-vs-legacy factor is measured within one run, so it also
+	// holds when baseline and fresh files come from different machines.
+	speedupRegs := c.SpeedupRegressions(threshold)
+	for _, d := range speedupRegs {
+		fmt.Printf("  SPEEDUP REGRESSION: %s fell from %.2fx to %.2fx vs legacy\n", d.Name, d.OldSpeedup, d.NewSpeedup)
+	}
+	ok := len(regs) == 0 && len(speedupRegs) == 0 && len(c.Missing) == 0
+	if !ok {
+		fmt.Printf("  FAIL: %d ns/op regression(s), %d speedup regression(s), %d missing entr(ies)\n",
+			len(regs), len(speedupRegs), len(c.Missing))
+	}
+	return ok
+}

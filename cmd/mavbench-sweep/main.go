@@ -8,6 +8,13 @@
 // operating point, not from scheduling order. By default rows print in
 // operating-point order once all runs finish; -stream prints each row the
 // moment its run completes (completion order).
+//
+// With -remote the campaign is submitted to a mavbenchd server (or fleet
+// coordinator) instead of executing in this process; the CSV is identical
+// either way, because specs carry their seeds and the engine is
+// deterministic. -cores and -freqs subset the paper's nine operating points.
+//
+//	mavbench-sweep -workload scanning -remote http://coord:8080 -cores 2,4
 package main
 
 import (
@@ -15,9 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"mavbench/pkg/mavbench"
+	"mavbench/pkg/mavbench/client"
 )
 
 func main() {
@@ -25,8 +34,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	scale := flag.Float64("world-scale", 0.45, "environment scale factor")
 	maxTime := flag.Float64("max-mission-time", 900, "mission time limit per run (seconds)")
-	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS; local mode only)")
 	stream := flag.Bool("stream", false, "print rows as runs complete (completion order) instead of point order")
+	remote := flag.String("remote", "", "submit to a mavbenchd server / fleet coordinator at this base URL instead of running locally")
+	coresList := flag.String("cores", "", "comma-separated core counts to sweep (default: all paper points)")
+	freqList := flag.String("freqs", "", "comma-separated frequencies in GHz to sweep (default: all paper points)")
 	flag.Parse()
 
 	base, err := mavbench.NewSpec(*workload,
@@ -36,12 +48,14 @@ func main() {
 		mavbench.WithMaxMissionTime(*maxTime),
 	)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mavbench-sweep:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
-	specs := mavbench.SweepSpecs(base, mavbench.PaperOperatingPoints())
-	campaign := mavbench.NewCampaign(specs...).SetWorkers(*workers)
+	points, err := filterPoints(mavbench.PaperOperatingPoints(), *coresList, *freqList)
+	if err != nil {
+		fail(err)
+	}
+	specs := mavbench.SweepSpecs(base, points)
 
 	fmt.Println("workload,cores,freq_ghz,avg_velocity_mps,mission_time_s,energy_kj,hover_time_s,success,error")
 	row := func(res mavbench.Result) string {
@@ -51,6 +65,12 @@ func main() {
 			r.AverageSpeed, r.MissionTimeS, r.TotalEnergyKJ, r.HoverTimeS, r.Success, csvField(res.Error))
 	}
 
+	if *remote != "" {
+		runRemote(client.New(*remote), specs, *stream, row)
+		return
+	}
+
+	campaign := mavbench.NewCampaign(specs...).SetWorkers(*workers)
 	if *stream {
 		// Incremental delivery: each cell prints the moment its run finishes.
 		failed := false
@@ -69,9 +89,92 @@ func main() {
 		fmt.Println(row(res))
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mavbench-sweep:", err)
+		fail(err)
+	}
+}
+
+// runRemote executes the sweep on a mavbenchd server: -stream prints rows in
+// completion order as the NDJSON stream delivers them, otherwise rows print
+// in operating-point order once the campaign finishes — matching the local
+// modes exactly.
+func runRemote(cl *client.Client, specs []mavbench.Spec, stream bool, row func(mavbench.Result) string) {
+	ctx := context.Background()
+	anyFailed := false
+	if stream {
+		err := cl.RunStream(ctx, specs, func(res mavbench.Result) error {
+			fmt.Println(row(res))
+			anyFailed = anyFailed || !res.OK()
+			return nil
+		})
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		results, err := cl.Run(ctx, specs)
+		for _, res := range results {
+			fmt.Println(row(res))
+			anyFailed = anyFailed || !res.OK()
+		}
+		if err != nil {
+			fail(err)
+		}
+	}
+	if anyFailed {
 		os.Exit(1)
 	}
+}
+
+// filterPoints subsets the paper's operating points by the -cores / -freqs
+// comma lists (empty = keep all).
+func filterPoints(points []mavbench.OperatingPoint, coresList, freqList string) ([]mavbench.OperatingPoint, error) {
+	keepCores := map[int]bool{}
+	for _, tok := range splitList(coresList) {
+		c, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("bad -cores entry %q: %w", tok, err)
+		}
+		keepCores[c] = true
+	}
+	keepFreqs := map[string]bool{}
+	for _, tok := range splitList(freqList) {
+		f, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -freqs entry %q: %w", tok, err)
+		}
+		keepFreqs[freqKey(f)] = true
+	}
+	var out []mavbench.OperatingPoint
+	for _, pt := range points {
+		if len(keepCores) > 0 && !keepCores[pt.Cores] {
+			continue
+		}
+		if len(keepFreqs) > 0 && !keepFreqs[freqKey(pt.FreqGHz)] {
+			continue
+		}
+		out = append(out, pt)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-cores/-freqs filters matched none of the %d paper operating points", len(points))
+	}
+	return out, nil
+}
+
+// freqKey normalizes a frequency for comparison (1.5 == 1.50).
+func freqKey(f float64) string { return strconv.FormatFloat(f, 'f', 3, 64) }
+
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mavbench-sweep:", err)
+	os.Exit(1)
 }
 
 // csvField quotes a value per RFC 4180 when it contains a comma, quote or

@@ -9,25 +9,79 @@
 //	      -d '{"specs":[{"workload":"scanning","world_scale":0.4,"max_mission_time_s":600}]}' | jq -r .id)
 //	curl -sN localhost:8080/v1/campaigns/$id/results
 //
-// See docs/API.md for the full endpoint reference.
+// Fleet mode: any mavbenchd can be a coordinator (workers register with it
+// and submitted campaigns shard across them), and `-worker -join <url>`
+// turns an instance into a fleet worker. `-store-dir` persists results in a
+// disk-backed content-addressed store; point every fleet member at the same
+// directory (shared filesystem) and no spec is ever simulated twice.
+//
+//	mavbenchd -addr :8080 -store-dir /var/lib/mavbench/results          # coordinator
+//	mavbenchd -addr :8081 -worker -join http://coord:8080 -store-dir ...
+//	mavbenchd -addr :8082 -worker -join http://coord:8080 -store-dir ...
+//
+// See docs/API.md for the endpoint reference and docs/DISTRIBUTED.md for
+// fleet topology and failure semantics.
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
 	"time"
 
+	"mavbench/pkg/mavbench"
+	"mavbench/pkg/mavbench/distrib"
 	"mavbench/pkg/mavbench/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "parallel runs per campaign (0 = one per CPU)")
-	noCache := flag.Bool("no-cache", false, "disable the content-addressed result cache")
+	noCache := flag.Bool("no-cache", false, "disable the content-addressed result store")
+	storeDir := flag.String("store-dir", "", "persist results in a disk-backed content-addressed store at this directory (share it across a fleet)")
+	storeMaxMB := flag.Int64("store-max-mb", 0, "LRU size bound for -store-dir, in MiB (0 = unbounded)")
+	workerMode := flag.Bool("worker", false, "run as a fleet worker: register with the -join coordinator and heartbeat")
+	join := flag.String("join", "", "coordinator base URL to join (requires -worker)")
+	advertise := flag.String("advertise", "", "URL the coordinator should dispatch to (default http://127.0.0.1:<port of -addr>)")
+	fleetToken := flag.String("fleet-token", "", "shared secret for worker registration: coordinators require it, workers send it (empty = open registration)")
 	flag.Parse()
 
-	srv := server.New(server.Config{Workers: *workers, DisableCache: *noCache})
+	if *workerMode != (*join != "") {
+		fmt.Fprintln(os.Stderr, "mavbenchd: -worker and -join must be used together")
+		os.Exit(2)
+	}
+	if *storeDir != "" && *noCache {
+		fmt.Fprintln(os.Stderr, "mavbenchd: -store-dir and -no-cache are mutually exclusive")
+		os.Exit(2)
+	}
+	if *storeMaxMB > 0 && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "mavbenchd: -store-max-mb requires -store-dir")
+		os.Exit(2)
+	}
+
+	cfg := server.Config{Workers: *workers, DisableCache: *noCache, FleetToken: *fleetToken}
+	storeDesc := "memory"
+	if *noCache {
+		storeDesc = "off"
+	}
+	if *storeDir != "" {
+		var opts []mavbench.DiskStoreOption
+		if *storeMaxMB > 0 {
+			opts = append(opts, mavbench.WithMaxBytes(*storeMaxMB<<20))
+		}
+		store, err := mavbench.NewDiskStore(*storeDir, opts...)
+		if err != nil {
+			log.Fatalf("mavbenchd: %v", err)
+		}
+		cfg.Store = store
+		storeDesc = "disk:" + *storeDir
+	}
+
+	srv := server.New(cfg)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -35,6 +89,38 @@ func main() {
 		// No WriteTimeout: the results endpoint streams for as long as a
 		// campaign runs.
 	}
-	log.Printf("mavbenchd listening on %s (workers=%d, cache=%v)", *addr, *workers, !*noCache)
+
+	if *workerMode {
+		self := *advertise
+		if self == "" {
+			self = advertiseURL(*addr)
+		}
+		go func() {
+			err := distrib.Join(context.Background(), distrib.JoinConfig{
+				Coordinator: *join,
+				Advertise:   self,
+				Token:       *fleetToken,
+				Logf:        log.Printf,
+			})
+			log.Printf("mavbenchd: fleet membership loop ended: %v", err)
+		}()
+		log.Printf("mavbenchd worker listening on %s (coordinator=%s, advertise=%s, store=%s)", *addr, *join, self, storeDesc)
+	} else {
+		log.Printf("mavbenchd listening on %s (workers=%d, store=%s)", *addr, *workers, storeDesc)
+	}
 	log.Fatal(httpSrv.ListenAndServe())
+}
+
+// advertiseURL derives the URL workers advertise to the coordinator from the
+// listen address: an unspecified host becomes the loopback address (right
+// for single-machine fleets; use -advertise for anything else).
+func advertiseURL(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://127.0.0.1:8080"
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

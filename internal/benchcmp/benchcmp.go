@@ -1,0 +1,130 @@
+// Package benchcmp compares two BENCH_*.json kernel-benchmark files (the
+// committed baseline vs a fresh run) and reports per-entry ns/op deltas —
+// the engine behind cmd/mavbench-benchdiff and the CI benchmark-regression
+// gate.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Entry mirrors one benchmark entry of a BENCH_*.json file.
+type Entry struct {
+	Name     string             `json:"name"`
+	NsPerOp  float64            `json:"ns_per_op"`
+	Ops      int                `json:"ops"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	SpeedupX float64            `json:"speedup_vs_legacy_x,omitempty"`
+}
+
+// File mirrors a BENCH_*.json suite file.
+type File struct {
+	Suite       string  `json:"suite"`
+	Description string  `json:"description"`
+	GoVersion   string  `json:"go_version"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	CPUs        int     `json:"cpus"`
+	Entries     []Entry `json:"entries"`
+}
+
+// Load reads a BENCH_*.json file.
+func Load(path string) (File, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return File{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(f.Entries) == 0 {
+		return File{}, fmt.Errorf("parsing %s: no benchmark entries", path)
+	}
+	return f, nil
+}
+
+// Delta is one entry's baseline-to-fresh change. Ratio is new/old ns/op:
+// 1.0 = unchanged, above 1 = slower, below 1 = faster. OldSpeedup/NewSpeedup
+// carry the entry's speedup-vs-legacy factor when both files record one —
+// a machine-invariant signal, because current and legacy ran on the same
+// hardware within each file.
+type Delta struct {
+	Name       string
+	OldNs      float64
+	NewNs      float64
+	Ratio      float64
+	OldSpeedup float64
+	NewSpeedup float64
+}
+
+// Comparison is the result of comparing a fresh suite run against its
+// baseline.
+type Comparison struct {
+	Suite   string
+	Deltas  []Delta  // entries present in both, baseline order
+	Missing []string // entries in the baseline the fresh run lacks
+	Added   []string // entries only the fresh run has
+}
+
+// Compare matches entries by name between a baseline and a fresh run.
+func Compare(baseline, fresh File) Comparison {
+	c := Comparison{Suite: baseline.Suite}
+	freshByName := map[string]Entry{}
+	for _, e := range fresh.Entries {
+		freshByName[e.Name] = e
+	}
+	seen := map[string]bool{}
+	for _, old := range baseline.Entries {
+		seen[old.Name] = true
+		cur, ok := freshByName[old.Name]
+		if !ok {
+			c.Missing = append(c.Missing, old.Name)
+			continue
+		}
+		d := Delta{Name: old.Name, OldNs: old.NsPerOp, NewNs: cur.NsPerOp,
+			OldSpeedup: old.SpeedupX, NewSpeedup: cur.SpeedupX}
+		if old.NsPerOp > 0 {
+			d.Ratio = cur.NsPerOp / old.NsPerOp
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, e := range fresh.Entries {
+		if !seen[e.Name] {
+			c.Added = append(c.Added, e.Name)
+		}
+	}
+	sort.Strings(c.Missing)
+	sort.Strings(c.Added)
+	return c
+}
+
+// Regressions returns the deltas slower than the threshold: a threshold of
+// 0.30 flags entries whose fresh ns/op exceeds the baseline by more than 30%.
+func (c Comparison) Regressions(threshold float64) []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Ratio > 1+threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// SpeedupRegressions returns the deltas whose speedup-vs-legacy factor fell
+// by more than the threshold (0.30 = lost more than 30% of the recorded
+// speedup). Unlike raw ns/op, this signal survives running the fresh suite
+// on different hardware than the baseline, because each file's current and
+// legacy entries were measured on the same machine.
+func (c Comparison) SpeedupRegressions(threshold float64) []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.OldSpeedup > 0 && d.NewSpeedup > 0 && d.NewSpeedup < d.OldSpeedup*(1-threshold) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

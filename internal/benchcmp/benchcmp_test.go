@@ -1,0 +1,99 @@
+package benchcmp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func file(suite string, entries ...Entry) File {
+	return File{Suite: suite, Entries: entries}
+}
+
+func TestCompareMatchesByName(t *testing.T) {
+	baseline := file("octomap",
+		Entry{Name: "insert", NsPerOp: 1000},
+		Entry{Name: "collide", NsPerOp: 200},
+		Entry{Name: "gone", NsPerOp: 50},
+	)
+	fresh := file("octomap",
+		Entry{Name: "collide", NsPerOp: 220},
+		Entry{Name: "insert", NsPerOp: 900},
+		Entry{Name: "brandnew", NsPerOp: 10},
+	)
+	c := Compare(baseline, fresh)
+	if len(c.Deltas) != 2 {
+		t.Fatalf("deltas = %+v", c.Deltas)
+	}
+	if c.Deltas[0].Name != "insert" || c.Deltas[0].Ratio != 0.9 {
+		t.Errorf("insert delta = %+v", c.Deltas[0])
+	}
+	if c.Deltas[1].Name != "collide" || c.Deltas[1].Ratio != 1.1 {
+		t.Errorf("collide delta = %+v", c.Deltas[1])
+	}
+	if len(c.Missing) != 1 || c.Missing[0] != "gone" {
+		t.Errorf("missing = %v", c.Missing)
+	}
+	if len(c.Added) != 1 || c.Added[0] != "brandnew" {
+		t.Errorf("added = %v", c.Added)
+	}
+}
+
+func TestRegressionsThreshold(t *testing.T) {
+	baseline := file("planning",
+		Entry{Name: "a", NsPerOp: 100},
+		Entry{Name: "b", NsPerOp: 100},
+		Entry{Name: "c", NsPerOp: 100},
+	)
+	fresh := file("planning",
+		Entry{Name: "a", NsPerOp: 129}, // +29%: inside a 30% gate
+		Entry{Name: "b", NsPerOp: 131}, // +31%: regression
+		Entry{Name: "c", NsPerOp: 70},  // faster
+	)
+	regs := Compare(baseline, fresh).Regressions(0.30)
+	if len(regs) != 1 || regs[0].Name != "b" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+}
+
+func TestSpeedupRegressions(t *testing.T) {
+	baseline := file("octomap",
+		Entry{Name: "chunked/insert", NsPerOp: 100, SpeedupX: 5.0},
+		Entry{Name: "chunked/collide", NsPerOp: 100, SpeedupX: 4.0},
+		Entry{Name: "legacy/insert", NsPerOp: 500}, // no speedup recorded
+	)
+	fresh := file("octomap",
+		Entry{Name: "chunked/insert", NsPerOp: 120, SpeedupX: 3.0},  // lost 40% of its speedup
+		Entry{Name: "chunked/collide", NsPerOp: 110, SpeedupX: 3.5}, // lost 12.5%: fine
+		Entry{Name: "legacy/insert", NsPerOp: 600},
+	)
+	regs := Compare(baseline, fresh).SpeedupRegressions(0.30)
+	if len(regs) != 1 || regs[0].Name != "chunked/insert" {
+		t.Fatalf("speedup regressions = %+v", regs)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := os.WriteFile(path, []byte(`{
+		"suite": "x", "go_version": "go1.22",
+		"entries": [{"name": "k", "ns_per_op": 123.5, "ops": 10, "metrics": {"m": 1}}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Suite != "x" || len(f.Entries) != 1 || f.Entries[0].NsPerOp != 123.5 {
+		t.Fatalf("loaded = %+v", f)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("loading a missing file did not error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(empty, []byte(`{"suite": "x", "entries": []}`), 0o644)
+	if _, err := Load(empty); err == nil {
+		t.Error("loading an entry-less file did not error")
+	}
+}

@@ -1,7 +1,7 @@
 package energy
 
 import (
-	"fmt"
+	"errors"
 	"math"
 )
 
@@ -47,13 +47,13 @@ func NewBattery(capacityMAh float64, cells int) *Battery {
 // Validate reports whether the battery parameters are usable.
 func (b *Battery) Validate() error {
 	if b.CapacityCoulombs <= 0 {
-		return fmt.Errorf("energy: non-positive battery capacity")
+		return errors.New("energy: non-positive battery capacity")
 	}
 	if b.CellCount <= 0 {
-		return fmt.Errorf("energy: non-positive cell count")
+		return errors.New("energy: non-positive cell count")
 	}
 	if b.CellFullVoltage <= b.CellEmptyVoltage {
-		return fmt.Errorf("energy: full-cell voltage must exceed empty-cell voltage")
+		return errors.New("energy: full-cell voltage must exceed empty-cell voltage")
 	}
 	return nil
 }

@@ -11,6 +11,7 @@
 package physics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -56,13 +57,13 @@ func (p Params) Validate() error {
 		return fmt.Errorf("physics: non-positive mass %v", p.MassKg)
 	}
 	if p.MaxHorizontalVelocity <= 0 || p.MaxVerticalVelocity <= 0 {
-		return fmt.Errorf("physics: non-positive velocity limits")
+		return errors.New("physics: non-positive velocity limits")
 	}
 	if p.MaxAcceleration <= 0 {
-		return fmt.Errorf("physics: non-positive acceleration limit")
+		return errors.New("physics: non-positive acceleration limit")
 	}
 	if p.RadiusM <= 0 {
-		return fmt.Errorf("physics: non-positive radius")
+		return errors.New("physics: non-positive radius")
 	}
 	return nil
 }

@@ -11,6 +11,7 @@
 package sensors
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -42,7 +43,7 @@ func (c CameraIntrinsics) Validate() error {
 		return fmt.Errorf("sensors: horizontal FOV %v out of (0, pi)", c.HorizontalFOV)
 	}
 	if c.MaxRange <= 0 {
-		return fmt.Errorf("sensors: non-positive max range")
+		return errors.New("sensors: non-positive max range")
 	}
 	return nil
 }

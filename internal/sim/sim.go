@@ -16,7 +16,7 @@
 package sim
 
 import (
-	"fmt"
+	"errors"
 	"time"
 
 	"mavbench/internal/actuation"
@@ -127,7 +127,7 @@ type Simulator struct {
 // New builds a simulator for the given world and start position.
 func New(cfg Config, world *env.World, start geom.Vec3) (*Simulator, error) {
 	if world == nil {
-		return nil, fmt.Errorf("sim: nil world")
+		return nil, errors.New("sim: nil world")
 	}
 	if cfg.PhysicsStepS <= 0 {
 		cfg.PhysicsStepS = 0.02

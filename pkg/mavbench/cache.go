@@ -2,20 +2,7 @@ package mavbench
 
 import "sync"
 
-// ResultCache is a content-addressed store of campaign results, keyed by
-// Spec.Hash(). Because the hash covers every knob of the canonical spec
-// (including the seed) and runs are deterministic, a cached result is
-// bit-identical to re-simulating — campaigns therefore serve repeated specs
-// from the cache without running them. Implementations must be safe for
-// concurrent use; campaigns call them from every worker.
-type ResultCache interface {
-	// Get returns the cached result for a spec hash.
-	Get(hash string) (Result, bool)
-	// Put stores a successful result under its spec hash.
-	Put(hash string, res Result)
-}
-
-// MemoryCache is an in-process ResultCache, optionally bounded. The zero
+// MemoryCache is an in-process ResultStore, optionally bounded. The zero
 // value is not usable; construct it with NewMemoryCache or
 // NewBoundedMemoryCache.
 type MemoryCache struct {

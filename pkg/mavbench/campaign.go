@@ -53,7 +53,7 @@ func (r Result) OK() bool { return r.Err() == nil }
 type Campaign struct {
 	specs   []Spec
 	workers int
-	cache   ResultCache
+	cache   ResultStore
 }
 
 // NewCampaign builds a campaign over the given specs. Specs are not
@@ -70,13 +70,18 @@ func (c *Campaign) SetWorkers(n int) *Campaign {
 	return c
 }
 
-// SetCache installs a content-addressed result cache: specs whose hash is
-// already cached are served without re-simulating, and fresh successful
+// SetStore installs a content-addressed result store: specs whose hash is
+// already stored are served without re-simulating, and fresh successful
 // results are stored. Returns the campaign for chaining.
-func (c *Campaign) SetCache(cache ResultCache) *Campaign {
-	c.cache = cache
+func (c *Campaign) SetStore(store ResultStore) *Campaign {
+	c.cache = store
 	return c
 }
+
+// SetCache is the former name of SetStore, kept for compatibility.
+//
+// Deprecated: use SetStore.
+func (c *Campaign) SetCache(cache ResultStore) *Campaign { return c.SetStore(cache) }
 
 // Len returns the number of specs in the campaign.
 func (c *Campaign) Len() int { return len(c.specs) }

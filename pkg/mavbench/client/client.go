@@ -1,0 +1,215 @@
+// Package client is a Go client for the mavbenchd /v1 HTTP API: submit
+// campaigns, stream NDJSON results, and run batches against a single server
+// or a fleet coordinator — the programmatic form of `mavbench-sweep -remote`.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"mavbench/pkg/mavbench"
+	"mavbench/pkg/mavbench/distrib"
+)
+
+// Client talks to one mavbenchd server (standalone or fleet coordinator).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient issues the requests (default http.DefaultClient; do not set
+	// a client-level timeout — result streams last as long as campaigns).
+	HTTPClient *http.Client
+}
+
+// New returns a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx response from the service, carrying the status code
+// and the {"error": ...} message.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("mavbenchd returned %d: %s", e.Status, e.Message)
+}
+
+// Ack acknowledges a campaign submission.
+type Ack struct {
+	ID         string   `json:"id"`
+	Count      int      `json:"count"`
+	SpecHashes []string `json:"spec_hashes"`
+	ResultsURL string   `json:"results_url"`
+}
+
+// Submit posts a campaign and returns its acknowledgement. Results are
+// collected separately with Results (the campaign executes server-side
+// regardless of whether anyone is streaming).
+func (c *Client) Submit(ctx context.Context, specs []mavbench.Spec) (Ack, error) {
+	var ack Ack
+	if err := c.postJSON(ctx, "/v1/campaigns", map[string]any{"specs": specs}, &ack); err != nil {
+		return Ack{}, err
+	}
+	return ack, nil
+}
+
+// Results streams a campaign's results, invoking fn for each one as it
+// arrives (completion order). It returns when the campaign is done, fn
+// returns an error, or the context ends.
+func (c *Client) Results(ctx context.Context, id string, fn func(mavbench.Result) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/campaigns/"+id+"/results", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	return decodeNDJSON(resp.Body, fn)
+}
+
+// RunStream submits specs and streams each result to fn the moment it
+// completes — the remote mirror of Campaign.Stream.
+func (c *Client) RunStream(ctx context.Context, specs []mavbench.Spec, fn func(mavbench.Result) error) error {
+	ack, err := c.Submit(ctx, specs)
+	if err != nil {
+		return err
+	}
+	return c.Results(ctx, ack.ID, fn)
+}
+
+// Run submits specs, blocks until every result has arrived, and returns them
+// in submission order — the remote mirror of Campaign.Collect. Like Collect,
+// per-spec failures do not error the call; inspect each Result.
+func (c *Client) Run(ctx context.Context, specs []mavbench.Spec) ([]mavbench.Result, error) {
+	ack, err := c.Submit(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	var results []mavbench.Result
+	if err := c.Results(ctx, ack.ID, func(res mavbench.Result) error {
+		results = append(results, res)
+		return nil
+	}); err != nil {
+		return results, err
+	}
+	if len(results) != ack.Count {
+		return results, fmt.Errorf("campaign %s delivered %d of %d results", ack.ID, len(results), ack.Count)
+	}
+	distrib.SortByIndex(results)
+	return results, nil
+}
+
+// RunBatch executes specs on the server's synchronous batch endpoint
+// (POST /v1/run — local execution even on a coordinator), streaming each
+// result to fn. Canceling the context cancels the remote batch.
+func (c *Client) RunBatch(ctx context.Context, specs []mavbench.Spec, fn func(mavbench.Result) error) error {
+	body, err := json.Marshal(distrib.RunRequest{Specs: specs})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	return decodeNDJSON(resp.Body, fn)
+}
+
+// Workers returns the coordinator's fleet listing: per-worker status plus
+// the healthy count.
+func (c *Client) Workers(ctx context.Context) (workers []distrib.WorkerStatus, healthy int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/workers", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, decodeAPIError(resp)
+	}
+	var body distrib.WorkerListResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, 0, err
+	}
+	return body.Workers, body.Healthy, nil
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeAPIError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeNDJSON reads newline-delimited Results, tolerating lines of any
+// length (keep-traces results can be large).
+func decodeNDJSON(r io.Reader, fn func(mavbench.Result) error) error {
+	br := bufio.NewReader(r)
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) > 0 {
+			var res mavbench.Result
+			if uerr := json.Unmarshal(line, &res); uerr != nil {
+				return fmt.Errorf("bad result line: %w", uerr)
+			}
+			if ferr := fn(res); ferr != nil {
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func decodeAPIError(resp *http.Response) error {
+	return &APIError{Status: resp.StatusCode, Message: distrib.DecodeErrorBody(resp.Body)}
+}

@@ -1,0 +1,303 @@
+package mavbench
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DiskStore is a persistent, content-addressed ResultStore: one JSON file per
+// spec hash under a directory, written atomically (temp file + rename), with
+// an optional least-recently-used size bound. Because writes are atomic and
+// reads tolerate missing or corrupt files, one directory can safely be shared
+// by every process of a mavbenchd fleet (coordinator and workers on a common
+// filesystem): a spec simulated anywhere in the fleet is served from disk
+// everywhere else.
+//
+// The LRU bound is enforced per process and is therefore approximate across
+// a fleet: each process evicts from its own view of the directory (refreshed
+// on eviction), so the directory may transiently exceed the bound while
+// several processes write at once. Recency is shared through file
+// modification times, which Get refreshes best-effort.
+type DiskStore struct {
+	dir      string
+	maxBytes int64
+
+	mu              sync.Mutex
+	byKey           map[string]*list.Element // hash -> entry; front of lru = most recent
+	lru             *list.List               // of *diskEntry
+	total           int64
+	evictsSinceScan int // evictions since the last directory rescan
+}
+
+type diskEntry struct {
+	hash string
+	size int64
+}
+
+// DiskStoreOption configures a DiskStore.
+type DiskStoreOption func(*DiskStore)
+
+// WithMaxBytes bounds the store's total size on disk: once the bound is
+// exceeded, least-recently-used entries are evicted (the most recent entry is
+// always kept, even if it alone exceeds the bound). n <= 0 means unbounded.
+func WithMaxBytes(n int64) DiskStoreOption {
+	return func(s *DiskStore) { s.maxBytes = n }
+}
+
+// NewDiskStore opens (creating if needed) a disk-backed result store rooted
+// at dir and indexes the entries already present, oldest first. Temp files
+// orphaned by crashed writers are swept out.
+func NewDiskStore(dir string, opts ...DiskStoreOption) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("mavbench: creating result store dir: %w", err)
+	}
+	s := &DiskStore{dir: dir, byKey: map[string]*list.Element{}, lru: list.New()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	sweepOrphanedTemps(dir)
+	for _, e := range scanStoreDir(dir) {
+		s.byKey[e.entry.hash] = s.lru.PushFront(e.entry)
+		s.total += e.entry.size
+	}
+	return s, nil
+}
+
+// orphanTempAge is how old a .put-*.tmp file must be before it is considered
+// abandoned by a crashed writer. Live writes hold their temp file for
+// milliseconds; the margin protects concurrent writers in a shared fleet
+// directory.
+const orphanTempAge = 15 * time.Minute
+
+// sweepOrphanedTemps removes stale temp files so crashed writers cannot grow
+// the directory past the size bound forever.
+func sweepOrphanedTemps(dir string) {
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasPrefix(name, ".put-") || !strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil || time.Since(info.ModTime()) < orphanTempAge {
+			continue
+		}
+		_ = os.Remove(filepath.Join(dir, name))
+	}
+}
+
+// scannedEntry pairs a store entry with its file mtime for recency ordering.
+type scannedEntry struct {
+	entry *diskEntry
+	mtime time.Time
+}
+
+// scanStoreDir lists the result files under dir ordered oldest-mtime first,
+// ignoring temp files and anything that is not a hash-named result.
+func scanStoreDir(dir string) []scannedEntry {
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []scannedEntry
+	for _, de := range dirents {
+		hash, ok := strings.CutSuffix(de.Name(), ".json")
+		if !ok || !validStoreHash(hash) || de.IsDir() {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, scannedEntry{&diskEntry{hash: hash, size: info.Size()}, info.ModTime()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].mtime.Before(out[j].mtime) })
+	return out
+}
+
+// validStoreHash reports whether hash is safe to use as a file name: the
+// lowercase hex form Spec.Hash produces. Anything else (path separators,
+// "..") is rejected so a hostile hash can never escape the store directory.
+func validStoreHash(hash string) bool {
+	if len(hash) == 0 || len(hash) > 128 {
+		return false
+	}
+	for _, c := range hash {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *DiskStore) path(hash string) string { return filepath.Join(s.dir, hash+".json") }
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// Get implements ResultStore. A missing or unreadable file is a miss; a
+// corrupt (non-JSON) file is a miss and is removed so it cannot shadow a
+// future Put. Files written by other processes sharing the directory are
+// found even though they are absent from this process's index.
+func (s *DiskStore) Get(hash string) (Result, bool) {
+	if !validStoreHash(hash) {
+		return Result{}, false
+	}
+	buf, err := os.ReadFile(s.path(hash))
+	if err != nil {
+		s.drop(hash, false)
+		return Result{}, false
+	}
+	var res Result
+	if err := json.Unmarshal(buf, &res); err != nil {
+		// Corrupt entry (truncated by a crash, or foreign junk): tolerate it
+		// as a miss and clear it out rather than failing the campaign.
+		s.drop(hash, true)
+		return Result{}, false
+	}
+	s.touch(hash, int64(len(buf)))
+	return res, true
+}
+
+// Put implements ResultStore: an atomic write (temp file + rename into
+// place), then LRU eviction down to the size bound. Put never fails the
+// caller — a store that cannot write degrades to re-simulation, it does not
+// break campaigns.
+func (s *DiskStore) Put(hash string, res Result) {
+	if !validStoreHash(hash) {
+		return
+	}
+	buf, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	tmp, err := os.CreateTemp(s.dir, ".put-*.tmp")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.path(hash)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	s.touch(hash, int64(len(buf)))
+	s.evict()
+}
+
+// Len returns the number of entries in this process's index.
+func (s *DiskStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// SizeBytes returns the indexed total size on disk.
+func (s *DiskStore) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// touch records hash as the most recently used entry of the given size and
+// refreshes the file mtime so other processes sharing the directory see the
+// recency too.
+func (s *DiskStore) touch(hash string, size int64) {
+	s.mu.Lock()
+	if el, ok := s.byKey[hash]; ok {
+		e := el.Value.(*diskEntry)
+		s.total += size - e.size
+		e.size = size
+		s.lru.MoveToFront(el)
+	} else {
+		s.byKey[hash] = s.lru.PushFront(&diskEntry{hash: hash, size: size})
+		s.total += size
+	}
+	s.mu.Unlock()
+	now := time.Now()
+	_ = os.Chtimes(s.path(hash), now, now)
+}
+
+// drop forgets hash from the index and optionally removes its file.
+func (s *DiskStore) drop(hash string, removeFile bool) {
+	s.mu.Lock()
+	if el, ok := s.byKey[hash]; ok {
+		s.total -= el.Value.(*diskEntry).size
+		s.lru.Remove(el)
+		delete(s.byKey, hash)
+	}
+	s.mu.Unlock()
+	if removeFile {
+		_ = os.Remove(s.path(hash))
+	}
+}
+
+// rescanEvery bounds how many evictions run off the in-memory index before
+// the directory is rescanned to pick up entries written by other fleet
+// processes. The hot path stays O(entries evicted); the cross-process
+// approximation is corrected every so often.
+const rescanEvery = 64
+
+// evict deletes least-recently-used entries until the store fits its bound,
+// always keeping the most recent entry. Eviction runs off the in-memory
+// index; every rescanEvery evictions (and whenever the index alone cannot
+// get under the bound) the index is refreshed from the directory so entries
+// written by other processes are counted and are candidates, by mtime.
+func (s *DiskStore) evict() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.total <= s.maxBytes {
+		return
+	}
+	s.evictLocked()
+	s.evictsSinceScan++
+	if s.evictsSinceScan >= rescanEvery {
+		s.evictsSinceScan = 0
+		s.rescanLocked()
+		s.evictLocked()
+	}
+}
+
+// evictLocked drops LRU entries (per the in-memory index) until the store
+// fits the bound, keeping at least the most recent entry. Caller holds s.mu.
+func (s *DiskStore) evictLocked() {
+	for s.total > s.maxBytes && s.lru.Len() > 1 {
+		el := s.lru.Back()
+		e := el.Value.(*diskEntry)
+		s.total -= e.size
+		s.lru.Remove(el)
+		delete(s.byKey, e.hash)
+		_ = os.Remove(s.path(e.hash))
+	}
+}
+
+// rescanLocked rebuilds the index from the directory — other fleet processes
+// may have added or removed entries since we last looked. Caller holds s.mu.
+func (s *DiskStore) rescanLocked() {
+	sweepOrphanedTemps(s.dir)
+	s.byKey = map[string]*list.Element{}
+	s.lru.Init()
+	s.total = 0
+	for _, e := range scanStoreDir(s.dir) {
+		s.byKey[e.entry.hash] = s.lru.PushFront(e.entry)
+		s.total += e.entry.size
+	}
+}

@@ -1,0 +1,202 @@
+package mavbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sameJSON reports whether two values marshal identically — the equality that
+// matters for wire-visible results (Report holds maps, so == won't do).
+func sameJSON(t *testing.T, a, b any) bool {
+	t.Helper()
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(ja) == string(jb)
+}
+
+func storeResult(seed int) Result {
+	return Result{
+		SpecHash: storeHash(seed),
+		Spec:     Spec{Workload: "scanning", Seed: int64(seed)},
+		Platform: "TX2",
+		Report:   Report{Success: true, MissionTimeS: float64(seed)},
+	}
+}
+
+// storeHash fabricates a distinct, valid (lowercase hex) content address.
+func storeHash(seed int) string { return fmt.Sprintf("%064x", 0xabc0+seed) }
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := storeResult(1)
+	s.Put(want.SpecHash, want)
+	got, ok := s.Get(want.SpecHash)
+	if !ok {
+		t.Fatal("stored result not found")
+	}
+	if !sameJSON(t, got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if _, ok := s.Get(storeHash(2)); ok {
+		t.Error("unknown hash reported as hit")
+	}
+
+	// A second store over the same directory must see the entry (the fleet
+	// sharing path: a different process opens the same dir).
+	s2, err := NewDiskStore(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get(want.SpecHash); !ok || !sameJSON(t, got, want) {
+		t.Fatalf("fresh store over same dir: got %+v ok=%v", got, ok)
+	}
+}
+
+// TestDiskStoreRejectsUnsafeHashes guards the path-traversal boundary: only
+// lowercase-hex hashes name files.
+func TestDiskStoreRejectsUnsafeHashes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hash := range []string{"", "../escape", "ABCDEF", "abc/def", "zz"} {
+		s.Put(hash, storeResult(1))
+		if _, ok := s.Get(hash); ok {
+			t.Errorf("unsafe hash %q was stored", hash)
+		}
+	}
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirents) != 0 {
+		t.Fatalf("unsafe hashes left files behind: %v", dirents)
+	}
+}
+
+// TestDiskStoreCorruptFileTolerance pins the failure semantics: a truncated
+// or garbage entry is a miss (never a crash), is cleared out, and the hash is
+// writable again afterwards.
+func TestDiskStoreCorruptFileTolerance(t *testing.T) {
+	dir := t.TempDir()
+	hash := storeHash(1)
+	if err := os.WriteFile(filepath.Join(dir, hash+".json"), []byte(`{"spec_hash": "tru`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(hash); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(filepath.Join(dir, hash+".json")); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry not removed (stat err = %v)", err)
+	}
+	want := storeResult(1)
+	s.Put(hash, want)
+	if got, ok := s.Get(hash); !ok || !sameJSON(t, got, want) {
+		t.Fatalf("hash unusable after corrupt-entry recovery: %+v ok=%v", got, ok)
+	}
+}
+
+// TestDiskStoreConcurrentAccess races readers, writers and rereaders over a
+// small hash space (run with -race).
+func TestDiskStoreConcurrentAccess(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir(), WithMaxBytes(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const iters = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				seed := (g + i) % 5
+				s.Put(storeHash(seed), storeResult(seed))
+				if res, ok := s.Get(storeHash(seed)); ok {
+					if res.SpecHash != storeHash(seed) {
+						t.Errorf("hash %d returned result for %s", seed, res.SpecHash)
+					}
+				}
+				s.Len()
+				s.SizeBytes()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestDiskStoreLRUEviction pins the size bound: oldest-used entries fall out,
+// the most recently used survive, and the directory shrinks accordingly.
+func TestDiskStoreLRUEviction(t *testing.T) {
+	entrySize := func() int64 {
+		dir := t.TempDir()
+		probe, err := NewDiskStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe.Put(storeHash(0), storeResult(0))
+		return probe.SizeBytes()
+	}()
+	if entrySize <= 0 {
+		t.Fatalf("probe entry size = %d", entrySize)
+	}
+
+	// Room for ~3 entries.
+	s, err := NewDiskStore(t.TempDir(), WithMaxBytes(entrySize*3+entrySize/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := 1; seed <= 6; seed++ {
+		s.Put(storeHash(seed), storeResult(seed))
+		// Distinct mtimes: recency across processes rides on file times.
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := s.Len(); n > 3 {
+		t.Errorf("store holds %d entries, bound allows 3", n)
+	}
+	if size := s.SizeBytes(); size > entrySize*3+entrySize/2 {
+		t.Errorf("store size %d exceeds bound", size)
+	}
+	if _, ok := s.Get(storeHash(1)); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := s.Get(storeHash(6)); !ok {
+		t.Error("newest entry was evicted")
+	}
+
+	// Recency, not insertion order: touch an old survivor, add pressure, and
+	// the touched entry must outlive the untouched one.
+	if _, ok := s.Get(storeHash(4)); !ok {
+		t.Fatal("expected entry 4 resident")
+	}
+	time.Sleep(5 * time.Millisecond)
+	s.Put(storeHash(7), storeResult(7))
+	time.Sleep(5 * time.Millisecond)
+	s.Put(storeHash(8), storeResult(8))
+	if _, ok := s.Get(storeHash(4)); !ok {
+		t.Error("recently used entry evicted before stale ones")
+	}
+	if _, ok := s.Get(storeHash(5)); ok {
+		t.Error("stale entry outlived a recently used one")
+	}
+}

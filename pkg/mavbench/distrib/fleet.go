@@ -1,0 +1,305 @@
+// Package distrib shards mavbench campaigns across a fleet of mavbenchd
+// workers over the service's HTTP API.
+//
+// Topology: one coordinator process owns a Fleet (the worker registry) and a
+// Coordinator (the dispatcher). Workers are ordinary mavbenchd servers that
+// register themselves with the coordinator (POST /v1/workers) and heartbeat;
+// the coordinator dispatches batches of specs to each worker's synchronous
+// batch-run endpoint (POST /v1/run), merges the NDJSON result streams, and
+// requeues the unfinished remainder of any failed or timed-out batch onto the
+// remaining healthy workers. Results are bit-identical to a local run of the
+// same specs: workers run the same deterministic engine, and every spec's
+// seed is part of its content address.
+//
+// See docs/DISTRIBUTED.md for topology, failure semantics and the shared
+// result-store layout.
+package distrib
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config tunes the fleet and the dispatcher. The zero value selects the
+// defaults noted on each field.
+type Config struct {
+	// HeartbeatInterval is how often workers are told to heartbeat
+	// (default 3s).
+	HeartbeatInterval time.Duration
+	// HeartbeatTTL is how long after its last heartbeat a worker counts as
+	// healthy (default 4x HeartbeatInterval).
+	HeartbeatTTL time.Duration
+	// MaxAttempts is how many workers a spec batch unit is tried on before
+	// its specs fail (default 3).
+	MaxAttempts int
+	// MaxBatch caps the number of unique specs dispatched to a worker in one
+	// batch (default 16).
+	MaxBatch int
+	// ResultTimeout bounds the wait for the next result on a worker's batch
+	// stream; a worker that stalls longer has its batch requeued elsewhere
+	// (default 10m; < 0 disables).
+	ResultTimeout time.Duration
+	// WaitForWorkers bounds how long dispatch waits for a healthy worker to
+	// appear before failing the remaining specs (default 1m; < 0 fails
+	// immediately).
+	WaitForWorkers time.Duration
+}
+
+// HeartbeatIntervalOrDefault returns the heartbeat cadence with the default
+// applied — what a coordinator tells registering workers.
+func (c Config) HeartbeatIntervalOrDefault() time.Duration { return c.heartbeatInterval() }
+
+func (c Config) heartbeatInterval() time.Duration {
+	if c.HeartbeatInterval <= 0 {
+		return 3 * time.Second
+	}
+	return c.HeartbeatInterval
+}
+
+func (c Config) heartbeatTTL() time.Duration {
+	if c.HeartbeatTTL <= 0 {
+		return 4 * c.heartbeatInterval()
+	}
+	return c.HeartbeatTTL
+}
+
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 3
+	}
+	return c.MaxAttempts
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return 16
+	}
+	return c.MaxBatch
+}
+
+func (c Config) resultTimeout() time.Duration {
+	switch {
+	case c.ResultTimeout < 0:
+		return 0
+	case c.ResultTimeout == 0:
+		return 10 * time.Minute
+	}
+	return c.ResultTimeout
+}
+
+func (c Config) waitForWorkers() time.Duration {
+	if c.WaitForWorkers < 0 {
+		return 0
+	}
+	if c.WaitForWorkers == 0 {
+		return time.Minute
+	}
+	return c.WaitForWorkers
+}
+
+// worker is the fleet's record of one registered mavbenchd. All mutable
+// state is guarded by the owning Fleet's mutex.
+type worker struct {
+	id         string
+	url        string
+	registered time.Time
+
+	lastBeat   time.Time
+	busy       bool // a dispatch is in flight
+	down       bool // last dispatch failed; cleared by the next heartbeat
+	dispatched int64
+	completed  int64
+	failures   int64
+}
+
+// WorkerStatus is an exported snapshot of one worker (the GET /v1/workers
+// wire shape).
+type WorkerStatus struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	// Healthy means the worker is heartbeating and not marked down.
+	Healthy bool `json:"healthy"`
+	// Busy means a batch is currently dispatched to it.
+	Busy bool `json:"busy"`
+	// LastHeartbeatAgeS is the age of the last heartbeat in seconds.
+	LastHeartbeatAgeS float64 `json:"last_heartbeat_age_s"`
+	// Dispatched / Completed / Failures count batch units over the worker's
+	// lifetime.
+	Dispatched int64 `json:"dispatched"`
+	Completed  int64 `json:"completed"`
+	Failures   int64 `json:"failures"`
+}
+
+// Fleet is the coordinator-side worker registry. It is safe for concurrent
+// use. The zero value is not usable; construct with NewFleet.
+type Fleet struct {
+	cfg Config
+	now func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	workers map[string]*worker
+}
+
+// NewFleet builds an empty registry.
+func NewFleet(cfg Config) *Fleet {
+	return &Fleet{cfg: cfg, now: time.Now, workers: map[string]*worker{}}
+}
+
+// Config returns the fleet's configuration (defaults resolved by accessors,
+// not here).
+func (f *Fleet) Config() Config { return f.cfg }
+
+// Register adds (or re-adds) a worker reachable at url and returns its
+// status. Registration is idempotent by URL: a worker that restarts and
+// registers again keeps one registry entry, freshly marked healthy.
+func (f *Fleet) Register(url string) WorkerStatus {
+	url = strings.TrimRight(url, "/")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.now()
+	for _, w := range f.workers {
+		if w.url == url {
+			w.lastBeat = now
+			w.down = false
+			return f.statusLocked(w)
+		}
+	}
+	w := &worker{id: newWorkerID(), url: url, registered: now, lastBeat: now}
+	f.workers[w.id] = w
+	return f.statusLocked(w)
+}
+
+// Heartbeat refreshes a worker's liveness; false means the id is unknown
+// (the worker should re-register).
+func (f *Fleet) Heartbeat(id string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[id]
+	if !ok {
+		return false
+	}
+	w.lastBeat = f.now()
+	w.down = false
+	return true
+}
+
+// Deregister removes a worker; false means the id was unknown.
+func (f *Fleet) Deregister(id string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.workers[id]; !ok {
+		return false
+	}
+	delete(f.workers, id)
+	return true
+}
+
+// Workers returns a stable-ordered snapshot of every registered worker.
+func (f *Fleet) Workers() []WorkerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(f.workers))
+	for _, w := range f.workers {
+		out = append(out, f.statusLocked(w))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// HealthyCount returns how many workers are currently dispatchable.
+func (f *Fleet) HealthyCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, w := range f.workers {
+		if f.healthyLocked(w) {
+			n++
+		}
+	}
+	return n
+}
+
+// acquire reserves a healthy, idle worker for a dispatch (the least-loaded
+// one, by units dispatched) and returns its id and URL; ok is false when no
+// worker is available right now.
+func (f *Fleet) acquire() (id, url string, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var pick *worker
+	for _, w := range f.workers {
+		if !f.healthyLocked(w) || w.busy {
+			continue
+		}
+		if pick == nil || w.dispatched < pick.dispatched ||
+			(w.dispatched == pick.dispatched && w.id < pick.id) {
+			pick = w
+		}
+	}
+	if pick == nil {
+		return "", "", false
+	}
+	pick.busy = true
+	return pick.id, pick.url, true
+}
+
+// idleHealthy returns how many healthy workers are not currently busy.
+func (f *Fleet) idleHealthy() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, w := range f.workers {
+		if f.healthyLocked(w) && !w.busy {
+			n++
+		}
+	}
+	return n
+}
+
+// release returns a worker after a dispatch. units counts the batch units it
+// was given, completed how many finished; failed marks the worker down until
+// its next heartbeat so requeued work lands on other workers first.
+func (f *Fleet) release(id string, units, completed int, failed bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[id]
+	if !ok {
+		return
+	}
+	w.busy = false
+	w.dispatched += int64(units)
+	w.completed += int64(completed)
+	if failed {
+		w.failures++
+		w.down = true
+	}
+}
+
+func (f *Fleet) healthyLocked(w *worker) bool {
+	return !w.down && f.now().Sub(w.lastBeat) <= f.cfg.heartbeatTTL()
+}
+
+func (f *Fleet) statusLocked(w *worker) WorkerStatus {
+	return WorkerStatus{
+		ID:                w.id,
+		URL:               w.url,
+		Healthy:           f.healthyLocked(w),
+		Busy:              w.busy,
+		LastHeartbeatAgeS: f.now().Sub(w.lastBeat).Seconds(),
+		Dispatched:        w.dispatched,
+		Completed:         w.completed,
+		Failures:          w.failures,
+	}
+}
+
+// newWorkerID returns a random worker identifier.
+func newWorkerID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "w" + hex.EncodeToString(b[:])
+}

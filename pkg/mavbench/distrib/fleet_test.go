@@ -1,0 +1,119 @@
+package distrib
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Fleet's notion of time.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestFleet(cfg Config) (*Fleet, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	f := NewFleet(cfg)
+	f.now = clk.now
+	return f, clk
+}
+
+func TestFleetRegisterIsIdempotentByURL(t *testing.T) {
+	f, _ := newTestFleet(Config{})
+	a := f.Register("http://w1:8080")
+	b := f.Register("http://w1:8080/") // trailing slash normalizes away
+	if a.ID != b.ID {
+		t.Errorf("re-registration minted a new id: %q vs %q", a.ID, b.ID)
+	}
+	c := f.Register("http://w2:8080")
+	if c.ID == a.ID {
+		t.Error("distinct URLs share an id")
+	}
+	if n := len(f.Workers()); n != 2 {
+		t.Errorf("fleet has %d workers, want 2", n)
+	}
+}
+
+func TestFleetHeartbeatAndTTL(t *testing.T) {
+	f, clk := newTestFleet(Config{HeartbeatInterval: time.Second, HeartbeatTTL: 4 * time.Second})
+	w := f.Register("http://w1:8080")
+	if f.HealthyCount() != 1 {
+		t.Fatal("fresh registration not healthy")
+	}
+	clk.advance(3 * time.Second)
+	if f.HealthyCount() != 1 {
+		t.Error("worker unhealthy inside TTL")
+	}
+	clk.advance(2 * time.Second)
+	if f.HealthyCount() != 0 {
+		t.Error("worker still healthy past TTL")
+	}
+	if !f.Heartbeat(w.ID) {
+		t.Error("heartbeat for known worker rejected")
+	}
+	if f.HealthyCount() != 1 {
+		t.Error("heartbeat did not restore health")
+	}
+	if f.Heartbeat("wdeadbeef") {
+		t.Error("heartbeat for unknown worker accepted")
+	}
+}
+
+func TestFleetDispatchFailureMarksDownUntilHeartbeat(t *testing.T) {
+	f, _ := newTestFleet(Config{})
+	w := f.Register("http://w1:8080")
+	id, url, ok := f.acquire()
+	if !ok || id != w.ID || url != "http://w1:8080" {
+		t.Fatalf("acquire = %q %q %v", id, url, ok)
+	}
+	if _, _, ok := f.acquire(); ok {
+		t.Fatal("busy worker acquired twice")
+	}
+	f.release(id, 3, 1, true) // batch of 3, one completed, then the stream broke
+	if f.HealthyCount() != 0 {
+		t.Error("failed worker still counts as healthy")
+	}
+	if _, _, ok := f.acquire(); ok {
+		t.Error("down worker dispatchable before heartbeating back")
+	}
+	f.Heartbeat(id)
+	if _, _, ok := f.acquire(); !ok {
+		t.Error("worker not dispatchable after heartbeat cleared the down mark")
+	}
+	st := f.Workers()[0]
+	if st.Dispatched != 3 || st.Completed != 1 || st.Failures != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFleetAcquirePrefersLeastLoaded(t *testing.T) {
+	f, _ := newTestFleet(Config{})
+	w1 := f.Register("http://w1:8080")
+	w2 := f.Register("http://w2:8080")
+	id, _, _ := f.acquire()
+	f.release(id, 5, 5, false)
+	id2, _, ok := f.acquire()
+	if !ok {
+		t.Fatal("second acquire failed")
+	}
+	if id2 == id {
+		t.Errorf("acquire picked the loaded worker %q over the idle one (workers %q, %q)", id2, w1.ID, w2.ID)
+	}
+	f.release(id2, 1, 1, false)
+	if f.idleHealthy() != 2 {
+		t.Errorf("idleHealthy = %d after releases, want 2", f.idleHealthy())
+	}
+}
+
+func TestFleetDeregister(t *testing.T) {
+	f, _ := newTestFleet(Config{})
+	w := f.Register("http://w1:8080")
+	if !f.Deregister(w.ID) {
+		t.Error("deregister of known worker failed")
+	}
+	if f.Deregister(w.ID) {
+		t.Error("double deregister succeeded")
+	}
+	if n := len(f.Workers()); n != 0 {
+		t.Errorf("fleet has %d workers after deregister", n)
+	}
+}

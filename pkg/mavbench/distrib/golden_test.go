@@ -1,0 +1,101 @@
+package distrib_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mavbench/pkg/mavbench"
+	"mavbench/pkg/mavbench/distrib"
+	"mavbench/pkg/mavbench/server"
+)
+
+// goldenTrace mirrors the repository golden-trace schema (see
+// golden_trace_test.go at the repo root): one pinned spec plus its exact
+// mission metrics.
+type goldenTrace struct {
+	Name     string        `json:"name"`
+	Spec     mavbench.Spec `json:"spec"`
+	SpecHash string        `json:"spec_hash"`
+
+	MissionTimeS    float64 `json:"mission_time_s"`
+	FlightTimeS     float64 `json:"flight_time_s"`
+	DistanceM       float64 `json:"distance_m"`
+	AverageSpeedMPS float64 `json:"average_speed_mps"`
+	TotalEnergyKJ   float64 `json:"total_energy_kj"`
+	RotorEnergyKJ   float64 `json:"rotor_energy_kj"`
+	ComputeEnergyKJ float64 `json:"compute_energy_kj"`
+	Collisions      float64 `json:"collisions"`
+	Replans         float64 `json:"replans"`
+	Success         bool    `json:"success"`
+	FailureReason   string  `json:"failure_reason,omitempty"`
+}
+
+// TestFleetReproducesGoldenTraces is the distributed leg of the golden-trace
+// harness: real workload specs pinned at the repo root must produce exactly
+// the pinned metrics when sharded across a two-worker fleet. Together with
+// the root TestGoldenTraces (local engine vs the same file), this proves
+// distributed results are bit-identical to local ones on the real engine,
+// not just on test workloads.
+func TestFleetReproducesGoldenTraces(t *testing.T) {
+	buf, err := os.ReadFile(filepath.Join("..", "..", "..", "testdata", "golden_traces.json"))
+	if err != nil {
+		t.Fatalf("reading golden traces (regenerate at the repo root with -update): %v", err)
+	}
+	var want []goldenTrace
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 3 {
+		t.Fatalf("golden file has only %d traces", len(want))
+	}
+	want = want[:3] // one golden mission is ~1s of wall time; three keep the test fast
+
+	w1 := startWorker(t, server.Config{Workers: 1})
+	w2 := startWorker(t, server.Config{Workers: 1})
+	fleet := distrib.NewFleet(distrib.Config{})
+	fleet.Register(w1.URL)
+	fleet.Register(w2.URL)
+	co := &distrib.Coordinator{Fleet: fleet}
+
+	specs := make([]mavbench.Spec, len(want))
+	for i, tr := range want {
+		specs[i] = tr.Spec
+	}
+	results, err := co.Collect(context.Background(), specs)
+	if err != nil {
+		t.Fatalf("fleet golden campaign: %v", err)
+	}
+
+	for i, res := range results {
+		got := goldenTrace{
+			Name:            want[i].Name,
+			Spec:            res.Spec,
+			SpecHash:        res.SpecHash,
+			MissionTimeS:    res.Report.MissionTimeS,
+			FlightTimeS:     res.Report.FlightTimeS,
+			DistanceM:       res.Report.DistanceM,
+			AverageSpeedMPS: res.Report.AverageSpeed,
+			TotalEnergyKJ:   res.Report.TotalEnergyKJ,
+			RotorEnergyKJ:   res.Report.RotorEnergyKJ,
+			ComputeEnergyKJ: res.Report.ComputeEnergyKJ,
+			Collisions:      res.Report.Counters["collisions"],
+			Replans:         res.Report.Counters["replans"],
+			Success:         res.Report.Success,
+			FailureReason:   res.Report.FailureReason,
+		}
+		gj, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wj, err := json.Marshal(want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gj) != string(wj) {
+			t.Errorf("trace %q via the fleet diverged from golden:\n got: %s\nwant: %s", want[i].Name, gj, wj)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// JoinConfig parameterizes a worker's membership in a fleet.
+type JoinConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://coord:8080".
+	Coordinator string
+	// Advertise is the URL the coordinator should dispatch to — this
+	// worker's own /v1 API as reachable from the coordinator.
+	Advertise string
+	// Token, when non-empty, is sent as a bearer token on registration and
+	// heartbeats; it must match the coordinator's fleet token.
+	Token string
+	// Client issues the registration and heartbeat requests (default: a
+	// client with a 10s timeout).
+	Client *http.Client
+	// Logf, when non-nil, receives membership events (joined, lost, retry).
+	Logf func(format string, args ...any)
+}
+
+// RegisterRequest is the POST /v1/workers wire body. Like RunRequest, it is
+// shared by the worker join loop and the server so the endpoint cannot
+// silently desynchronize.
+type RegisterRequest struct {
+	URL string `json:"url"`
+}
+
+// RegisterResponse is the POST /v1/workers response body: the assigned
+// worker id and the heartbeat cadence the coordinator expects.
+type RegisterResponse struct {
+	ID                 string  `json:"id"`
+	HeartbeatIntervalS float64 `json:"heartbeat_interval_s"`
+}
+
+// WorkerListResponse is the GET /v1/workers wire body.
+type WorkerListResponse struct {
+	Workers []WorkerStatus `json:"workers"`
+	Healthy int            `json:"healthy"`
+}
+
+// Join registers the worker with the coordinator and heartbeats until ctx is
+// canceled, re-registering whenever the coordinator forgets it (a restart) or
+// becomes unreachable. It returns only when ctx ends — run it in a goroutine
+// next to the worker's HTTP server.
+func Join(ctx context.Context, cfg JoinConfig) error {
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	coord := strings.TrimRight(cfg.Coordinator, "/")
+
+	var id string
+	interval := Config{}.heartbeatInterval()
+	for {
+		if id == "" {
+			reg, err := register(ctx, client, coord, cfg.Advertise, cfg.Token)
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				logf("distrib: registration with %s failed (retrying): %v", coord, err)
+			} else {
+				id = reg.ID
+				if reg.HeartbeatIntervalS > 0 {
+					interval = time.Duration(reg.HeartbeatIntervalS * float64(time.Second))
+				}
+				logf("distrib: joined fleet at %s as %s (heartbeat every %v)", coord, id, interval)
+			}
+		} else {
+			ok, err := heartbeat(ctx, client, coord, id, cfg.Token)
+			switch {
+			case ctx.Err() != nil:
+				return ctx.Err()
+			case err != nil:
+				logf("distrib: heartbeat to %s failed (retrying): %v", coord, err)
+			case !ok:
+				// The coordinator restarted and forgot us: rejoin.
+				logf("distrib: coordinator at %s no longer knows %s, re-registering", coord, id)
+				id = ""
+				continue
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+func register(ctx context.Context, client *http.Client, coord, advertise, token string) (RegisterResponse, error) {
+	body, err := json.Marshal(RegisterRequest{URL: advertise})
+	if err != nil {
+		return RegisterResponse{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, coord+"/v1/workers", bytes.NewReader(body))
+	if err != nil {
+		return RegisterResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	setFleetAuth(req, token)
+	resp, err := client.Do(req)
+	if err != nil {
+		return RegisterResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return RegisterResponse{}, fmt.Errorf("coordinator returned %s: %s", resp.Status, DecodeErrorBody(resp.Body))
+	}
+	var reg RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		return RegisterResponse{}, fmt.Errorf("decoding registration response: %w", err)
+	}
+	return reg, nil
+}
+
+// setFleetAuth attaches the fleet bearer token, when one is configured.
+func setFleetAuth(req *http.Request, token string) {
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+}
+
+// heartbeat returns ok=false (with nil error) when the coordinator does not
+// know the worker id, signalling the caller to re-register.
+func heartbeat(ctx context.Context, client *http.Client, coord, id, token string) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, coord+"/v1/workers/"+id+"/heartbeat", nil)
+	if err != nil {
+		return false, err
+	}
+	setFleetAuth(req, token)
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return false, nil
+	case resp.StatusCode >= 300:
+		return false, fmt.Errorf("coordinator returned %s: %s", resp.Status, DecodeErrorBody(resp.Body))
+	}
+	return true, nil
+}

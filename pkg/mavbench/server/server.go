@@ -6,35 +6,57 @@
 //	POST /v1/campaigns                  submit a campaign ({"specs": [...]})
 //	GET  /v1/campaigns/{id}            campaign status summary
 //	GET  /v1/campaigns/{id}/results    stream results as NDJSON, as they complete
+//	POST /v1/run                       run a spec batch, streaming NDJSON on the request
 //	GET  /v1/workloads                 registered workloads and valid knob values
 //	GET  /v1/specs/{hash}              canonical spec for a known content address
+//	POST /v1/workers                   register a fleet worker ({"url": ...})
+//	GET  /v1/workers                   fleet status
+//	POST /v1/workers/{id}/heartbeat    worker liveness
+//	DELETE /v1/workers/{id}            deregister a worker
 //
 // Results stream incrementally: a client reading the NDJSON response sees
 // each run's result the moment it completes, long before the campaign
 // finishes. Submitting the same spec twice (across campaigns) is served from
-// the shared content-addressed cache without re-simulating.
+// the shared content-addressed store without re-simulating.
+//
+// When workers have registered (see pkg/mavbench/distrib and the mavbenchd
+// -worker flag), submitted campaigns are sharded across the fleet instead of
+// executing in-process; /v1/run always executes locally — it is the endpoint
+// the coordinator dispatches to.
+//
+// Every error response carries a JSON body of the form {"error": "..."},
+// including 404s for unknown routes and 405s for wrong methods.
 package server
 
 import (
+	"context"
 	"crypto/rand"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 
 	"mavbench/pkg/mavbench"
+	"mavbench/pkg/mavbench/distrib"
 )
 
 // Config parameterizes the service.
 type Config struct {
 	// Workers bounds each campaign's worker pool (<= 0 = one per CPU).
 	Workers int
-	// Cache is the shared content-addressed result cache; nil installs a
-	// bounded in-memory cache (4096 entries, FIFO eviction). Use
-	// DisableCache to turn caching off.
-	Cache mavbench.ResultCache
-	// DisableCache turns the result cache off entirely.
+	// Store is the content-addressed result store; nil installs a bounded
+	// in-memory cache (4096 entries, FIFO eviction) unless DisableCache is
+	// set. Point it at a mavbench.DiskStore to persist results and share
+	// them across a fleet.
+	Store mavbench.ResultStore
+	// Cache is the former name of Store, honored when Store is nil.
+	//
+	// Deprecated: use Store.
+	Cache mavbench.ResultStore
+	// DisableCache turns the result store off entirely.
 	DisableCache bool
 	// MaxCampaignSpecs caps the number of specs accepted per submission
 	// (0 = default 1024).
@@ -44,13 +66,26 @@ type Config struct {
 	// their ids return 404 afterwards (0 = default 256). This bounds the
 	// service's memory under sustained submission.
 	MaxCampaigns int
+	// Distrib tunes fleet membership and dispatch (zero values = defaults).
+	Distrib distrib.Config
+	// FleetToken, when non-empty, is required (as "Authorization: Bearer
+	// <token>") on the worker-registry endpoints — registration, heartbeat
+	// and deregistration — so only trusted workers can join the fleet and
+	// feed results into the shared store. Empty means open registration;
+	// see docs/DISTRIBUTED.md for the trust model.
+	FleetToken string
+	// DisableLocalFallback keeps campaigns failing (instead of running
+	// in-process) when every fleet worker is unavailable mid-campaign.
+	DisableLocalFallback bool
 }
 
 // Server is the mavbenchd HTTP service. Construct with New; it is safe for
 // concurrent use.
 type Server struct {
 	cfg   Config
-	cache mavbench.ResultCache
+	cache mavbench.ResultStore
+	fleet *distrib.Fleet
+	coord *distrib.Coordinator
 
 	mu        sync.RWMutex
 	campaigns map[string]*campaign
@@ -104,18 +139,32 @@ func (c *campaign) finish() {
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
-		cache:     cfg.Cache,
+		cache:     cfg.Store,
+		fleet:     distrib.NewFleet(cfg.Distrib),
 		campaigns: map[string]*campaign{},
 		specs:     map[string]mavbench.Spec{},
 		specRefs:  map[string]int{},
+	}
+	if s.cache == nil {
+		s.cache = cfg.Cache
 	}
 	if s.cache == nil && !cfg.DisableCache {
 		// Bounded: a long-running service must not let unique-spec traffic
 		// grow the cache without limit.
 		s.cache = mavbench.NewBoundedMemoryCache(4096)
 	}
+	s.coord = &distrib.Coordinator{
+		Fleet:         s.fleet,
+		Store:         s.cache,
+		Config:        cfg.Distrib,
+		FallbackLocal: !cfg.DisableLocalFallback,
+		LocalWorkers:  cfg.Workers,
+	}
 	return s
 }
+
+// Fleet returns the server's worker registry (for status and tests).
+func (s *Server) Fleet() *distrib.Fleet { return s.fleet }
 
 // Handler returns the service's HTTP handler (the /v1 API).
 func (s *Server) Handler() http.Handler {
@@ -123,9 +172,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/specs/{hash}", s.handleSpec)
-	return mux
+	mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+	mux.HandleFunc("GET /v1/workers", s.handleWorkerList)
+	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
+	mux.HandleFunc("DELETE /v1/workers/{id}", s.handleWorkerDeregister)
+	return jsonErrors(mux)
 }
 
 // submitRequest is the POST /v1/campaigns body.
@@ -150,7 +204,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Specs) == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf(`campaign has no specs (body: {"specs": [...]})`))
+		httpError(w, http.StatusBadRequest, errors.New(`campaign has no specs (body: {"specs": [...]})`))
 		return
 	}
 	maxSpecs := s.cfg.MaxCampaignSpecs
@@ -182,13 +236,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	// Execute in the background; the request context must not cancel the
-	// campaign (clients collect results from the streaming endpoint).
-	eng := mavbench.NewCampaign(req.Specs...).SetWorkers(s.cfg.Workers)
-	if s.cache != nil {
-		eng.SetCache(s.cache)
-	}
+	// campaign (clients collect results from the streaming endpoint). With
+	// healthy fleet workers registered the campaign is sharded across them;
+	// otherwise it runs in-process.
+	stream := s.runStream(req.Specs)
 	go func() {
-		for res := range eng.Stream(nil) {
+		for res := range stream {
 			c.append(res)
 		}
 		c.finish()
@@ -340,6 +393,137 @@ func (s *Server) evictLocked() {
 	}
 }
 
+// runStream starts executing specs — sharded across the fleet when healthy
+// workers are registered, in-process otherwise — and returns the merged
+// completion-order result stream.
+func (s *Server) runStream(specs []mavbench.Spec) <-chan mavbench.Result {
+	if s.fleet.HealthyCount() > 0 {
+		return s.coord.Stream(context.Background(), specs)
+	}
+	eng := mavbench.NewCampaign(specs...).SetWorkers(s.cfg.Workers)
+	if s.cache != nil {
+		eng.SetStore(s.cache)
+	}
+	return eng.Stream(context.Background())
+}
+
+// handleRun is the synchronous batch-run endpoint (POST /v1/run): the body
+// names a spec batch, the response streams one NDJSON Result per spec as
+// runs complete, and the stream ends when the batch does. Execution is
+// always local — this is the endpoint fleet coordinators dispatch to — and
+// is canceled if the client disconnects, so an abandoned batch stops
+// consuming the worker.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req distrib.RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	if len(req.Specs) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New(`batch has no specs (body: {"specs": [...]})`))
+		return
+	}
+	maxSpecs := s.cfg.MaxCampaignSpecs
+	if maxSpecs <= 0 {
+		maxSpecs = 1024
+	}
+	if len(req.Specs) > maxSpecs {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("batch has %d specs, limit is %d", len(req.Specs), maxSpecs))
+		return
+	}
+	// Unlike POST /v1/campaigns, invalid specs are not rejected here: they
+	// surface as per-spec failed Results, exactly as the local engine
+	// reports them — the coordinator relays them verbatim.
+	eng := mavbench.NewCampaign(req.Specs...).SetWorkers(s.cfg.Workers)
+	if s.cache != nil {
+		eng.SetStore(s.cache)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for res := range eng.Stream(r.Context()) {
+		if err := enc.Encode(res); err != nil {
+			return // client gone; context cancellation stops the engine
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// fleetAuthorized enforces Config.FleetToken on the worker-registry
+// endpoints; a false return has already written the 401. The comparison is
+// constant-time so the token cannot be recovered through a timing side
+// channel.
+func (s *Server) fleetAuthorized(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.FleetToken == "" {
+		return true
+	}
+	want := "Bearer " + s.cfg.FleetToken
+	got := r.Header.Get("Authorization")
+	if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+		httpError(w, http.StatusUnauthorized, errors.New("fleet endpoints require the coordinator's fleet token (Authorization: Bearer ...)"))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	if !s.fleetAuthorized(w, r) {
+		return
+	}
+	var req distrib.RegisterRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	if req.URL == "" {
+		httpError(w, http.StatusBadRequest, errors.New(`worker registration has no url (body: {"url": "http://host:port"})`))
+		return
+	}
+	st := s.fleet.Register(req.URL)
+	writeJSON(w, http.StatusOK, distrib.RegisterResponse{
+		ID:                 st.ID,
+		HeartbeatIntervalS: s.fleet.Config().HeartbeatIntervalOrDefault().Seconds(),
+	})
+}
+
+func (s *Server) handleWorkerList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, distrib.WorkerListResponse{
+		Workers: s.fleet.Workers(),
+		Healthy: s.fleet.HealthyCount(),
+	})
+}
+
+func (s *Server) handleWorkerHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !s.fleetAuthorized(w, r) {
+		return
+	}
+	id := r.PathValue("id")
+	if !s.fleet.Heartbeat(id) {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown worker %q (re-register with POST /v1/workers)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) {
+	if !s.fleetAuthorized(w, r) {
+		return
+	}
+	id := r.PathValue("id")
+	if !s.fleet.Deregister(id) {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown worker %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
 // errorResponse is the uniform error body.
 type errorResponse struct {
 	Error string `json:"error"`
@@ -353,6 +537,59 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// jsonErrors wraps a handler so the plain-text 404/405 bodies the ServeMux
+// produces for unmatched routes are rewritten as the service's uniform
+// {"error": "..."} JSON — every error on the /v1 surface is structured.
+// Responses our own handlers write (always JSON or NDJSON, with the
+// Content-Type set before the status) pass through untouched.
+func jsonErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&jsonErrorWriter{ResponseWriter: w, req: r}, r)
+	})
+}
+
+// jsonErrorWriter intercepts text/plain 404 and 405 responses (the mux's
+// built-ins) and substitutes a JSON error body.
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	req         *http.Request
+	intercepted bool // swallowing the original text body
+}
+
+func (w *jsonErrorWriter) WriteHeader(status int) {
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		w.ResponseWriter.Header().Get("Content-Type") != "application/json" &&
+		w.ResponseWriter.Header().Get("Content-Type") != "application/x-ndjson" {
+		w.intercepted = true
+		h := w.ResponseWriter.Header()
+		h.Del("Content-Length")
+		h.Set("Content-Type", "application/json")
+		w.ResponseWriter.WriteHeader(status)
+		msg := fmt.Sprintf("no such endpoint: %s %s (see docs/API.md)", w.req.Method, w.req.URL.Path)
+		if status == http.StatusMethodNotAllowed {
+			msg = fmt.Sprintf("method %s not allowed on %s", w.req.Method, w.req.URL.Path)
+		}
+		_ = json.NewEncoder(w.ResponseWriter).Encode(errorResponse{Error: msg})
+		return
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *jsonErrorWriter) Write(b []byte) (int, error) {
+	if w.intercepted {
+		// Swallow the mux's plain-text body; the JSON body is already out.
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush keeps the streaming endpoints streaming through the wrapper.
+func (w *jsonErrorWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // newID returns a random campaign identifier.
