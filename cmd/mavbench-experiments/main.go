@@ -18,7 +18,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run the full-scale configuration (9 operating points, repeats)")
-	only := flag.String("only", "", "comma-separated experiment ids to run (fig2,fig8a,fig8b,fig9a,fig9b,table1,fig10-14,fig15,fig16,fig17,fig18,fig19,table2)")
+	only := flag.String("only", "", "comma-separated experiment ids to run (fig2,fig8a,fig8b,fig9a,fig9b,table1,fig10-14,fig15,fig16,fig17,fig18,fig19,table2,difficulty)")
 	workers := flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS); results are identical at any worker count")
 	flag.Parse()
 
@@ -112,6 +112,14 @@ func main() {
 	}
 	if want("table2") {
 		_, tbl, err := experiments.Table2(sc)
+		fail(err)
+		fmt.Println(tbl)
+	}
+	if want("difficulty") {
+		// The environment axis: package delivery graded across its urban
+		// scenario (the workload the paper's obstacle-density discussion
+		// centers on).
+		_, tbl, err := experiments.DifficultySweep(sc, "package_delivery", "urban", 103)
 		fail(err)
 		fmt.Println(tbl)
 	}

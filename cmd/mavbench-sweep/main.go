@@ -14,7 +14,15 @@
 // either way, because specs carry their seeds and the engine is
 // deterministic. -cores and -freqs subset the paper's nine operating points.
 //
+// -scenario selects a difficulty-graded environment from the catalog
+// ("urban-dense"; see docs/SCENARIOS.md) and -difficulty sweeps the
+// continuous difficulty axis: a comma list expands the sweep to
+// (difficulty × operating point), composing with -remote like any other
+// campaign.
+//
 //	mavbench-sweep -workload scanning -remote http://coord:8080 -cores 2,4
+//	mavbench-sweep -workload package_delivery -scenario urban-dense \
+//	    -difficulty -1,-0.5,0,0.5,1 -cores 2,4 -remote http://coord:8080
 package main
 
 import (
@@ -39,14 +47,20 @@ func main() {
 	remote := flag.String("remote", "", "submit to a mavbenchd server / fleet coordinator at this base URL instead of running locally")
 	coresList := flag.String("cores", "", "comma-separated core counts to sweep (default: all paper points)")
 	freqList := flag.String("freqs", "", "comma-separated frequencies in GHz to sweep (default: all paper points)")
+	scenario := flag.String("scenario", "", "difficulty-graded scenario from the catalog (e.g. urban-dense; bare family = its default grade)")
+	difficulty := flag.String("difficulty", "", "comma-separated continuous difficulties in [-1, 1] to sweep (empty = the scenario's grade)")
 	flag.Parse()
 
-	base, err := mavbench.NewSpec(*workload,
+	opts := []mavbench.Option{
 		mavbench.WithSeed(*seed),
 		mavbench.WithLocalizer("ground_truth"),
 		mavbench.WithWorldScale(*scale),
 		mavbench.WithMaxMissionTime(*maxTime),
-	)
+	}
+	if *scenario != "" {
+		opts = append(opts, mavbench.WithScenario(*scenario))
+	}
+	base, err := mavbench.NewSpec(*workload, opts...)
 	if err != nil {
 		fail(err)
 	}
@@ -55,13 +69,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	specs := mavbench.SweepSpecs(base, points)
+	specs, err := expandSpecs(base, points, *difficulty)
+	if err != nil {
+		fail(err)
+	}
 
-	fmt.Println("workload,cores,freq_ghz,avg_velocity_mps,mission_time_s,energy_kj,hover_time_s,success,error")
+	fmt.Println("workload,scenario,difficulty,cores,freq_ghz,avg_velocity_mps,mission_time_s,energy_kj,hover_time_s,success,error")
 	row := func(res mavbench.Result) string {
 		r := res.Report
-		return fmt.Sprintf("%s,%d,%.1f,%.2f,%.1f,%.1f,%.1f,%v,%s",
-			res.Spec.Workload, res.Spec.Cores, res.Spec.FreqGHz,
+		return fmt.Sprintf("%s,%s,%g,%d,%.1f,%.2f,%.1f,%.1f,%.1f,%v,%s",
+			res.Spec.Workload, res.Spec.Scenario, res.Spec.Difficulty, res.Spec.Cores, res.Spec.FreqGHz,
 			r.AverageSpeed, r.MissionTimeS, r.TotalEnergyKJ, r.HoverTimeS, r.Success, csvField(res.Error))
 	}
 
@@ -122,6 +139,32 @@ func runRemote(cl *client.Client, specs []mavbench.Spec, stream bool, row func(m
 	if anyFailed {
 		os.Exit(1)
 	}
+}
+
+// expandSpecs builds the campaign's spec list: the operating-point sweep,
+// optionally crossed with a continuous difficulty sweep when -difficulty
+// names one or more values.
+func expandSpecs(base mavbench.Spec, points []mavbench.OperatingPoint, difficultyList string) ([]mavbench.Spec, error) {
+	toks := splitList(difficultyList)
+	if len(toks) == 0 {
+		return mavbench.SweepSpecs(base, points), nil
+	}
+	difficulties := make([]float64, len(toks))
+	for i, tok := range toks {
+		d, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -difficulty entry %q: %w", tok, err)
+		}
+		difficulties[i] = d
+	}
+	var specs []mavbench.Spec
+	for _, graded := range mavbench.DifficultySweepSpecs(base, difficulties) {
+		if err := graded.Validate(); err != nil {
+			return nil, err
+		}
+		specs = append(specs, mavbench.SweepSpecs(graded, points)...)
+	}
+	return specs, nil
 }
 
 // filterPoints subsets the paper's operating points by the -cores / -freqs

@@ -36,6 +36,9 @@ func main() {
 	depthNoise := flag.Float64("depth-noise", 0, "Gaussian depth-noise standard deviation in meters")
 	cloudOffload := flag.Bool("cloud-offload", false, "offload planning kernels to a cloud server")
 	environment := flag.String("environment", "", "override environment: "+strings.Join(mavbench.Environments(), ", "))
+	scenario := flag.String("scenario", "", "difficulty-graded scenario (e.g. urban-dense; see -list-scenarios)")
+	difficulty := flag.Float64("difficulty", 0, "continuous environment difficulty in [-1, 1] (0 = scenario default)")
+	listScenarios := flag.Bool("list-scenarios", false, "list the scenario catalog and exit")
 	worldScale := flag.Float64("world-scale", 1.0, "scale factor for the environment extent")
 	maxTime := flag.Float64("max-mission-time", 0, "mission time limit in seconds (0 = workload default)")
 	csv := flag.Bool("csv", false, "print a CSV row instead of the full report")
@@ -45,6 +48,12 @@ func main() {
 	if *list {
 		for _, info := range mavbench.Workloads() {
 			fmt.Printf("%-22s %s\n", info.Name, info.Description)
+		}
+		return
+	}
+	if *listScenarios {
+		for _, info := range mavbench.Scenarios() {
+			fmt.Printf("%-18s %s\n", info.Name, info.Description)
 		}
 		return
 	}
@@ -70,6 +79,12 @@ func main() {
 	}
 	if *environment != "" {
 		opts = append(opts, mavbench.WithEnvironment(*environment))
+	}
+	if *scenario != "" {
+		opts = append(opts, mavbench.WithScenario(*scenario))
+	}
+	if *difficulty != 0 {
+		opts = append(opts, mavbench.WithDifficulty(*difficulty))
 	}
 	if *maxTime > 0 {
 		opts = append(opts, mavbench.WithMaxMissionTime(*maxTime))

@@ -99,6 +99,21 @@ func goldenSpecs(t testing.TB) []struct {
 		// chunked layout's real footprint. Pinned so it can never drift
 		// silently again.
 		mk("package_delivery/cloud_offload=lan", "package_delivery", mavbench.WithCloudOffload(mavbench.LAN1Gbps())),
+
+		// Scenario subsystem: graded presets, continuous difficulty, knob
+		// overrides and cross-matrix worlds (a workload over another
+		// family's scenario, with target injection) are each pinned so
+		// distributed and cached runs stay bit-identical per
+		// (scenario, seed).
+		mk("package_delivery/scenario=urban-sparse", "package_delivery", mavbench.WithScenario("urban-sparse")),
+		mk("package_delivery/scenario=urban-dense", "package_delivery", mavbench.WithScenario("urban-dense")),
+		mk("package_delivery/difficulty=0.5", "package_delivery", mavbench.WithDifficulty(0.5)),
+		mk("package_delivery/knobs=dynamic_speed2x", "package_delivery",
+			mavbench.WithScenarioKnobs(mavbench.ScenarioKnobs{DynamicSpeed: 2})),
+		mk("scanning/scenario=farm-dense", "scanning", mavbench.WithScenario("farm-dense")),
+		mk("mapping_3d/scenario=disaster-dense", "mapping_3d", mavbench.WithScenario("disaster-dense")),
+		mk("search_and_rescue/scenario=urban-default", "search_and_rescue", mavbench.WithScenario("urban-default")),
+		mk("aerial_photography/scenario=park-dense", "aerial_photography", mavbench.WithScenario("park-dense")),
 	}
 }
 

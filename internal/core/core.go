@@ -61,6 +61,19 @@ type Params struct {
 	// Environment overrides the workload's default world ("urban", "indoor",
 	// "farm", "disaster", "park", "empty"); empty string keeps the default.
 	Environment string
+	// Scenario selects a named difficulty-graded environment preset from the
+	// catalog ("urban-dense"; see env.Scenarios). A bare family name selects
+	// its default grade. Empty keeps Environment (or the workload default) at
+	// default difficulty. Scenario and Environment are mutually exclusive —
+	// a scenario already names its family.
+	Scenario string
+	// Difficulty overrides the scenario's grade on the continuous
+	// [-1, 1] scale (-1 = sparsest, +1 = densest). 0 keeps the scenario's
+	// graded difficulty (or the default grade when no scenario is set).
+	Difficulty float64
+	// ScenarioKnobs are per-knob overrides on top of the graded difficulty;
+	// zero fields keep the graded values (see env.Knobs).
+	ScenarioKnobs env.Knobs
 	// WorldScale shrinks (<1) or grows (>1) the mission extent; tests use
 	// small scales to stay fast. 0 means 1.0.
 	WorldScale float64
@@ -84,6 +97,9 @@ func Planners() []string { return []string{"prm", "rrt", "rrt_connect"} }
 func Environments() []string {
 	return []string{"disaster", "empty", "farm", "indoor", "park", "urban"}
 }
+
+// Scenarios returns the canonical scenario-catalog names (see env.Scenarios).
+func Scenarios() []string { return env.Scenarios() }
 
 // kernelAliases maps the spelling variants the kernel constructors accept to
 // their canonical names, so validation and the constructors can never
@@ -140,6 +156,48 @@ func (p Params) Validate() error {
 				p.Environment, Environments())
 		}
 	}
+	if p.Scenario != "" {
+		if _, ok := env.LookupScenario(p.Scenario); !ok {
+			return fmt.Errorf("core: unknown scenario %q (valid: %v, or a bare family name; empty = workload default)",
+				p.Scenario, Scenarios())
+		}
+		if p.Environment != "" {
+			return fmt.Errorf("core: scenario %q and environment %q both set — a scenario already names its environment family; set one or the other",
+				p.Scenario, p.Environment)
+		}
+	}
+	if p.Difficulty < env.MinDifficulty || p.Difficulty > env.MaxDifficulty {
+		return fmt.Errorf("core: difficulty = %g out of range [%g, %g] (0 = scenario default)",
+			p.Difficulty, env.MinDifficulty, env.MaxDifficulty)
+	}
+	if err := validateKnob("obstacle_density", p.ScenarioKnobs.ObstacleDensity); err != nil {
+		return err
+	}
+	if err := validateKnob("clutter_scale", p.ScenarioKnobs.ClutterScale); err != nil {
+		return err
+	}
+	if err := validateKnob("dynamic_count", p.ScenarioKnobs.DynamicCount); err != nil {
+		return err
+	}
+	if err := validateKnob("dynamic_speed", p.ScenarioKnobs.DynamicSpeed); err != nil {
+		return err
+	}
+	if err := validateKnob("extent_scale", p.ScenarioKnobs.ExtentScale); err != nil {
+		return err
+	}
+	return nil
+}
+
+// maxKnob bounds every scenario knob multiplier; larger values produce
+// degenerate worlds (solid blocks, stadium-sized vehicles).
+const maxKnob = 8.0
+
+// validateKnob checks one scenario knob multiplier (0 = unset, use the
+// graded value).
+func validateKnob(name string, v float64) error {
+	if v < 0 || v > maxKnob {
+		return fmt.Errorf("core: scenario knob %s = %g out of range [0, %g] (0 = graded default)", name, v, maxKnob)
+	}
 	return nil
 }
 
@@ -166,6 +224,10 @@ func (p Params) Normalize() Params {
 	p.Detector, _ = canonicalName(p.Detector, Detectors())
 	p.Localizer, _ = canonicalName(p.Localizer, Localizers())
 	p.Planner, _ = canonicalName(p.Planner, Planners())
+	if p.Scenario != "" {
+		// A bare family name ("urban") is shorthand for its default grade.
+		p.Scenario = env.CanonicalScenarioName(p.Scenario)
+	}
 	if p.OctomapResolution <= 0 {
 		p.OctomapResolution = 0.15
 	}
@@ -184,6 +246,36 @@ func (p Params) Normalize() Params {
 // OperatingPoint returns the compute operating point of the run.
 func (p Params) OperatingPoint() compute.OperatingPoint {
 	return compute.OperatingPoint{Cores: p.Cores, FreqGHz: p.FreqGHz}
+}
+
+// ScenarioFamily resolves the environment family the run flies in: the
+// scenario's family when a scenario is set, otherwise the Environment
+// override, otherwise the workload's default (passed by the workload).
+func (p Params) ScenarioFamily(workloadDefault string) string {
+	if p.Scenario != "" {
+		if s, ok := env.LookupScenario(p.Scenario); ok {
+			return s.Family
+		}
+	}
+	if p.Environment != "" {
+		return p.Environment
+	}
+	return workloadDefault
+}
+
+// EffectiveKnobs resolves the run's difficulty knobs: the scenario grade's
+// knob set (default grade when no scenario is set), re-graded by the
+// continuous Difficulty override when non-zero, then overridden per-field by
+// any explicit ScenarioKnobs. The result is fully resolved — every field
+// set — and EffectiveKnobs of a default run is exactly env.DefaultKnobs.
+func (p Params) EffectiveKnobs() env.Knobs {
+	d := p.Difficulty
+	if d == 0 && p.Scenario != "" {
+		if s, ok := env.LookupScenario(p.Scenario); ok {
+			d = s.Difficulty
+		}
+	}
+	return env.GradeKnobs(d).OverrideWith(p.ScenarioKnobs)
 }
 
 // Workload is a benchmark application. Implementations construct their

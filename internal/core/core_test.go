@@ -58,9 +58,79 @@ func TestNormalizeDefaults(t *testing.T) {
 }
 
 func TestNormalizeCanonicalizesAliases(t *testing.T) {
-	p := Params{Localizer: "slam", Planner: "rrtconnect"}.Normalize()
+	p := Params{Localizer: "slam", Planner: "rrtconnect", Scenario: "urban"}.Normalize()
 	if p.Localizer != "orb_slam2" || p.Planner != "rrt_connect" {
 		t.Errorf("aliases not canonicalized: %q %q", p.Localizer, p.Planner)
+	}
+	if p.Scenario != "urban-default" {
+		t.Errorf("bare scenario family not canonicalized: %q", p.Scenario)
+	}
+}
+
+func TestScenarioResolution(t *testing.T) {
+	// No scenario: the workload default family at identity knobs.
+	p := Params{}
+	if fam := p.ScenarioFamily("farm"); fam != "farm" {
+		t.Errorf("default family = %q", fam)
+	}
+	if k := p.EffectiveKnobs(); k != env.DefaultKnobs() {
+		t.Errorf("default knobs = %+v", k)
+	}
+
+	// Environment override picks the family without touching difficulty.
+	p = Params{Environment: "urban"}
+	if fam := p.ScenarioFamily("farm"); fam != "urban" {
+		t.Errorf("environment family = %q", fam)
+	}
+
+	// A scenario picks both the family and the graded knobs.
+	p = Params{Scenario: "urban-dense"}
+	if fam := p.ScenarioFamily("farm"); fam != "urban" {
+		t.Errorf("scenario family = %q", fam)
+	}
+	if k := p.EffectiveKnobs(); k != env.GradeKnobs(env.MaxDifficulty) {
+		t.Errorf("dense knobs = %+v", k)
+	}
+
+	// A non-zero Difficulty re-grades the scenario...
+	p = Params{Scenario: "urban-dense", Difficulty: -1}
+	if k := p.EffectiveKnobs(); k != env.GradeKnobs(env.MinDifficulty) {
+		t.Errorf("re-graded knobs = %+v", k)
+	}
+	// ...and explicit knob overrides win per field.
+	p.ScenarioKnobs = env.Knobs{DynamicSpeed: 3}
+	if k := p.EffectiveKnobs(); k.DynamicSpeed != 3 || k.ObstacleDensity != env.GradeKnobs(env.MinDifficulty).ObstacleDensity {
+		t.Errorf("override knobs = %+v", k)
+	}
+}
+
+func TestValidateScenarioFields(t *testing.T) {
+	fw := &fakeWorkload{name: "scenario_validate_workload"}
+	Register(fw)
+	defer func() {
+		registryMu.Lock()
+		delete(registry, fw.name)
+		registryMu.Unlock()
+	}()
+
+	if err := (Params{Workload: fw.name, Scenario: "disaster-sparse", Difficulty: 0.5}).Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	cases := []struct {
+		p    Params
+		want string
+	}{
+		{Params{Workload: fw.name, Scenario: "urban-extreme"}, "unknown scenario"},
+		{Params{Workload: fw.name, Scenario: "urban-dense", Environment: "farm"}, "set one or the other"},
+		{Params{Workload: fw.name, Difficulty: 1.5}, "difficulty"},
+		{Params{Workload: fw.name, ScenarioKnobs: env.Knobs{ClutterScale: -1}}, "clutter_scale"},
+		{Params{Workload: fw.name, ScenarioKnobs: env.Knobs{ObstacleDensity: 99}}, "obstacle_density"},
+	}
+	for _, tc := range cases {
+		err := tc.p.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Validate(%+v) = %v, want %q error", tc.p, err, tc.want)
+		}
 	}
 }
 

@@ -232,12 +232,13 @@ type DisasterConfig struct {
 	Width, Depth  float64
 	Height        float64
 	RubbleDensity float64 // boxes per 100 m^2
+	RubbleSizeMax float64 // largest rubble box footprint edge (m)
 	SurvivorCount int
 }
 
 // DefaultDisasterConfig returns the search-and-rescue world.
 func DefaultDisasterConfig(seed int64) DisasterConfig {
-	return DisasterConfig{Seed: seed, Width: 80, Depth: 80, Height: 20, RubbleDensity: 1.2, SurvivorCount: 1}
+	return DisasterConfig{Seed: seed, Width: 80, Depth: 80, Height: 20, RubbleDensity: 1.2, RubbleSizeMax: 6, SurvivorCount: 1}
 }
 
 // NewDisasterWorld builds a rubble field with survivor targets.
@@ -249,6 +250,10 @@ func NewDisasterWorld(cfg DisasterConfig) *World {
 	w := New("disaster", bounds, cfg.Seed)
 	rng := w.RNG()
 	count := int(cfg.RubbleDensity * cfg.Width * cfg.Depth / 100)
+	sizeSpan := cfg.RubbleSizeMax - 1
+	if sizeSpan < 0 {
+		sizeSpan = 0
+	}
 	for i := 0; i < count; i++ {
 		x := 3 + rng.Float64()*(cfg.Width-6)
 		y := 3 + rng.Float64()*(cfg.Depth-6)
@@ -256,8 +261,8 @@ func NewDisasterWorld(cfg DisasterConfig) *World {
 		if x < 10 && y < 10 {
 			continue
 		}
-		sx := 1 + rng.Float64()*5
-		sy := 1 + rng.Float64()*5
+		sx := 1 + rng.Float64()*sizeSpan
+		sy := 1 + rng.Float64()*sizeSpan
 		h := 0.5 + rng.Float64()*4
 		w.AddObstacle(KindStructure, geom.BoxAt(geom.V3(x, y, h/2), geom.V3(sx, sy, h)), "rubble")
 	}

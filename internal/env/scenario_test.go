@@ -1,0 +1,233 @@
+package env
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenarioCatalogShape(t *testing.T) {
+	families := ScenarioFamilies()
+	if len(families) != 6 {
+		t.Fatalf("expected 6 families, got %v", families)
+	}
+	names := Scenarios()
+	if len(names) != len(families)*3 {
+		t.Fatalf("expected %d scenarios, got %d: %v", len(families)*3, len(names), names)
+	}
+	for _, f := range families {
+		for _, grade := range []string{"sparse", "default", "dense"} {
+			name := f + "-" + grade
+			s, ok := LookupScenario(name)
+			if !ok {
+				t.Fatalf("catalog is missing %s", name)
+			}
+			if s.Family != f || s.Grade != grade || s.Description == "" {
+				t.Errorf("scenario %s badly formed: %+v", name, s)
+			}
+			if s.Knobs() != GradeKnobs(s.Difficulty) {
+				t.Errorf("scenario %s knobs disagree with its graded difficulty", name)
+			}
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Scenarios() not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestScenarioAliases(t *testing.T) {
+	for _, f := range ScenarioFamilies() {
+		s, ok := LookupScenario(f)
+		if !ok {
+			t.Fatalf("bare family %q did not resolve", f)
+		}
+		if s.Name != f+"-default" {
+			t.Errorf("bare family %q resolved to %q, want %s-default", f, s.Name, f)
+		}
+	}
+	if _, ok := LookupScenario("urban-extreme"); ok {
+		t.Error("unknown scenario resolved")
+	}
+}
+
+func TestGradeKnobsAnchors(t *testing.T) {
+	if got := GradeKnobs(0); got != DefaultKnobs() {
+		t.Fatalf("GradeKnobs(0) = %+v, want exact DefaultKnobs", got)
+	}
+	sparse, dense := GradeKnobs(MinDifficulty), GradeKnobs(MaxDifficulty)
+	if !(sparse.ObstacleDensity < 1 && dense.ObstacleDensity > 1) {
+		t.Errorf("density grading not monotone: sparse %v dense %v", sparse.ObstacleDensity, dense.ObstacleDensity)
+	}
+	if sparse.DynamicCount != 0 {
+		t.Errorf("sparse grade should remove moving obstacles, got %v", sparse.DynamicCount)
+	}
+	// Out-of-range difficulties clamp to the anchors.
+	if GradeKnobs(-5) != sparse || GradeKnobs(5) != dense {
+		t.Error("difficulty should clamp to [-1, 1]")
+	}
+	// Interpolation is strictly between the anchors.
+	mid := GradeKnobs(0.5)
+	if !(mid.ObstacleDensity > 1 && mid.ObstacleDensity < dense.ObstacleDensity) {
+		t.Errorf("GradeKnobs(0.5) density %v not between default and dense", mid.ObstacleDensity)
+	}
+}
+
+func TestKnobsOverrideWith(t *testing.T) {
+	base := GradeKnobs(1)
+	got := base.OverrideWith(Knobs{ObstacleDensity: 0.25, ExtentScale: 2})
+	if got.ObstacleDensity != 0.25 || got.ExtentScale != 2 {
+		t.Errorf("override fields not applied: %+v", got)
+	}
+	if got.ClutterScale != base.ClutterScale || got.DynamicSpeed != base.DynamicSpeed {
+		t.Errorf("unset fields should keep the graded values: %+v", got)
+	}
+}
+
+// sameWorld compares two worlds' obstacle sets exactly.
+func sameWorld(t *testing.T, a, b *World) {
+	t.Helper()
+	if a.Bounds != b.Bounds {
+		t.Fatalf("bounds differ: %+v vs %+v", a.Bounds, b.Bounds)
+	}
+	ao, bo := a.Obstacles(), b.Obstacles()
+	if len(ao) != len(bo) {
+		t.Fatalf("obstacle counts differ: %d vs %d", len(ao), len(bo))
+	}
+	for i := range ao {
+		if ao[i].Box != bo[i].Box || ao[i].Kind != bo[i].Kind || ao[i].Label != bo[i].Label ||
+			ao[i].Speed != bo[i].Speed || ao[i].PatrolA != bo[i].PatrolA || ao[i].PatrolB != bo[i].PatrolB {
+			t.Fatalf("obstacle %d differs:\n  %+v\n  %+v", i, *ao[i], *bo[i])
+		}
+	}
+}
+
+// TestBuildFamilyWorldDefaultKnobsMatchLegacy pins the compatibility contract:
+// BuildFamilyWorld with identity knobs reproduces each family's default
+// generator output bit-for-bit (the property that keeps golden traces stable).
+func TestBuildFamilyWorldDefaultKnobsMatchLegacy(t *testing.T) {
+	const seed, scale = 42, 0.5
+	legacy := map[string]*World{}
+	{
+		cfg := DefaultUrbanConfig(seed)
+		cfg.Width *= scale
+		cfg.Depth *= scale
+		legacy["urban"] = NewUrbanWorld(cfg)
+	}
+	{
+		cfg := DefaultIndoorConfig(seed)
+		cfg.Width *= scale
+		cfg.Depth *= scale
+		legacy["indoor"] = NewIndoorWorld(cfg)
+	}
+	{
+		cfg := DefaultFarmConfig(seed)
+		cfg.Width *= scale
+		cfg.Depth *= scale
+		legacy["farm"] = NewFarmWorld(cfg)
+	}
+	{
+		cfg := DefaultDisasterConfig(seed)
+		cfg.Width *= scale
+		cfg.Depth *= scale
+		legacy["disaster"] = NewDisasterWorld(cfg)
+	}
+	{
+		cfg := DefaultPhotographyConfig(seed)
+		cfg.Width *= scale
+		cfg.Depth *= scale
+		cfg.PatrolLength *= scale
+		w, _ := NewPhotographyWorld(cfg)
+		legacy["park"] = w
+	}
+	legacy["empty"] = BoundedEmptyWorld(100*scale, 40, seed)
+
+	for family, want := range legacy {
+		got, err := BuildFamilyWorld(family, seed, scale, DefaultKnobs())
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		t.Run(family, func(t *testing.T) { sameWorld(t, got, want) })
+	}
+}
+
+func TestBuildFamilyWorldDeterministic(t *testing.T) {
+	for _, family := range ScenarioFamilies() {
+		k := GradeKnobs(0.7)
+		a, err := BuildFamilyWorld(family, 7, 0.5, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := BuildFamilyWorld(family, 7, 0.5, k)
+		t.Run(family, func(t *testing.T) { sameWorld(t, a, b) })
+	}
+}
+
+// TestDifficultyChangesObstacleLoad checks the knobs actually grade the
+// worlds: dense packs strictly more obstruction than sparse in every family
+// that has obstacles.
+func TestDifficultyChangesObstacleLoad(t *testing.T) {
+	for _, family := range []string{"urban", "indoor", "farm", "disaster", "park"} {
+		sparse, err := BuildFamilyWorld(family, 3, 1, GradeKnobs(MinDifficulty))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := BuildFamilyWorld(family, 3, 1, GradeKnobs(MaxDifficulty))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sparse.ObstacleCount() >= dense.ObstacleCount() {
+			t.Errorf("%s: sparse has %d obstacles, dense %d — grading has no effect",
+				family, sparse.ObstacleCount(), dense.ObstacleCount())
+		}
+	}
+}
+
+func TestBuildFamilyWorldUnknownFamily(t *testing.T) {
+	_, err := BuildFamilyWorld("volcano", 1, 1, DefaultKnobs())
+	if err == nil {
+		t.Fatal("expected error for unknown family")
+	}
+	if !strings.Contains(err.Error(), "urban") {
+		t.Errorf("error should list valid families: %v", err)
+	}
+}
+
+func TestEnsureSurvivor(t *testing.T) {
+	disaster, _ := BuildFamilyWorld("disaster", 5, 0.5, DefaultKnobs())
+	before := disaster.ObstacleCount()
+	s := EnsureSurvivor(disaster)
+	if s == nil || disaster.ObstacleCount() != before {
+		t.Fatal("disaster already has a survivor; EnsureSurvivor must not add another")
+	}
+
+	urban, _ := BuildFamilyWorld("urban", 5, 0.5, DefaultKnobs())
+	u := EnsureSurvivor(urban)
+	if u == nil || u.Kind != KindPerson || u.Label != "survivor" {
+		t.Fatalf("survivor not injected into urban world: %+v", u)
+	}
+	// Deterministic injection per (family, seed).
+	urban2, _ := BuildFamilyWorld("urban", 5, 0.5, DefaultKnobs())
+	u2 := EnsureSurvivor(urban2)
+	if u.Box != u2.Box {
+		t.Errorf("survivor placement not deterministic: %+v vs %+v", u.Box, u2.Box)
+	}
+}
+
+func TestEnsureSubject(t *testing.T) {
+	park, _ := BuildFamilyWorld("park", 5, 0.5, DefaultKnobs())
+	before := park.ObstacleCount()
+	if s := EnsureSubject(park, 60, 1.5); s == nil || park.ObstacleCount() != before {
+		t.Fatal("park already has a subject; EnsureSubject must not add another")
+	}
+
+	urban, _ := BuildFamilyWorld("urban", 5, 0.5, DefaultKnobs())
+	s := EnsureSubject(urban, 60, 1.5)
+	if s == nil || s.Kind != KindPerson || s.Label != "subject" || !s.IsDynamic() {
+		t.Fatalf("subject not injected into urban world: %+v", s)
+	}
+	width := urban.Bounds.Max.X - urban.Bounds.Min.X
+	if got := s.PatrolA.Dist(s.PatrolB); got > width*0.8+1e-9 {
+		t.Errorf("patrol length %v exceeds 80%% of world width %v", got, width)
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"mavbench/pkg/mavbench"
+)
+
+// This file is the scenario-difficulty experiment: the environment-axis
+// companion to the paper's compute heat maps. MAVBench's core claim is that
+// compute requirements are workload- AND environment-dependent; the
+// difficulty sweep makes the second half measurable by grading one workload's
+// environment from sparse to dense at the paper's weakest and strongest
+// compute operating points and reading how mission time, energy and the
+// collision rate respond at each.
+
+// DifficultyRow is one cell of the difficulty sweep: one workload at one
+// environment difficulty on one compute operating point.
+type DifficultyRow struct {
+	Workload     string
+	Scenario     string
+	Difficulty   float64
+	Cores        int
+	FreqGHz      float64
+	MissionTimeS float64
+	EnergyKJ     float64
+	AvgVelocity  float64
+	Collisions   float64
+	// CollisionRate is collisions per simulated mission minute.
+	CollisionRate float64
+	Success       bool
+}
+
+// DifficultyPoints returns the difficulty grid the sweep walks: the three
+// graded presets plus the midpoints between them.
+func DifficultyPoints() []float64 { return []float64{-1, -0.5, 0, 0.5, 1} }
+
+// weakestStrongest returns the extreme compute operating points of the
+// scale's grid (fewest cores at the lowest frequency, most cores at the
+// highest), the two ends the paper's analyses compare.
+func weakestStrongest(sc Scale) (weak, strong mavbench.OperatingPoint) {
+	pts := sc.OperatingPoints
+	if len(pts) == 0 {
+		pts = mavbench.PaperOperatingPoints()
+	}
+	weak, strong = pts[0], pts[0]
+	for _, pt := range pts[1:] {
+		if pt.Cores < weak.Cores || (pt.Cores == weak.Cores && pt.FreqGHz < weak.FreqGHz) {
+			weak = pt
+		}
+		if pt.Cores > strong.Cores || (pt.Cores == strong.Cores && pt.FreqGHz > strong.FreqGHz) {
+			strong = pt
+		}
+	}
+	return weak, strong
+}
+
+// DifficultySweep grades the workload's environment across the difficulty
+// grid at the scale's weakest and strongest compute operating points. The
+// scenario argument picks the environment family ("" = the workload's
+// default); the seed is held fixed across the grid so every difficulty flies
+// a paired world realization.
+func DifficultySweep(sc Scale, workload, scenario string, seed int64) ([]DifficultyRow, Table, error) {
+	opts := []mavbench.Option{}
+	if scenario != "" {
+		opts = append(opts, mavbench.WithScenario(scenario))
+	}
+	base, err := sc.baseSpec(workload, seed, opts...)
+	if err != nil {
+		return nil, Table{}, err
+	}
+	weak, strong := weakestStrongest(sc)
+	points := []mavbench.OperatingPoint{weak, strong}
+	if weak == strong {
+		points = points[:1]
+	}
+
+	difficulties := DifficultyPoints()
+	var specs []mavbench.Spec
+	for _, pt := range points {
+		at := base
+		at.Cores, at.FreqGHz = pt.Cores, pt.FreqGHz
+		specs = append(specs, mavbench.DifficultySweepSpecs(at, difficulties)...)
+	}
+	results, err := sc.Campaign(specs...).Collect(context.Background())
+	if err != nil {
+		return nil, Table{}, err
+	}
+
+	var rows []DifficultyRow
+	for i, res := range results {
+		pt := points[i/len(difficulties)]
+		row := DifficultyRow{
+			Workload:     workload,
+			Scenario:     res.Spec.Scenario,
+			Difficulty:   difficulties[i%len(difficulties)],
+			Cores:        pt.Cores,
+			FreqGHz:      pt.FreqGHz,
+			MissionTimeS: res.Report.MissionTimeS,
+			EnergyKJ:     res.Report.TotalEnergyKJ,
+			AvgVelocity:  res.Report.AverageSpeed,
+			Collisions:   res.Report.Counters["collisions"],
+			Success:      res.Report.Success,
+		}
+		if row.MissionTimeS > 0 {
+			row.CollisionRate = row.Collisions / (row.MissionTimeS / 60)
+		}
+		rows = append(rows, row)
+	}
+
+	tbl := Table{
+		Title: fmt.Sprintf("Difficulty sweep: %s — QoF vs environment difficulty at the weakest and strongest operating points", workload),
+		Columns: []string{"cores", "freq_ghz", "difficulty", "mission_time_s", "energy_kJ",
+			"avg_velocity_mps", "collisions", "collisions_per_min", "success"},
+		Notes: "difficulty -1 = sparse preset, 0 = default, +1 = dense; seed fixed across the grid (paired worlds)",
+	}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(r.Cores), f1(r.FreqGHz), f2(r.Difficulty), f1(r.MissionTimeS), f1(r.EnergyKJ),
+			f2(r.AvgVelocity), f1(r.Collisions), f2(r.CollisionRate), fmt.Sprint(r.Success),
+		})
+	}
+	return rows, tbl, nil
+}

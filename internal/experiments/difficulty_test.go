@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+
+	"mavbench/internal/compute"
+	"mavbench/pkg/mavbench"
+)
+
+func TestWeakestStrongest(t *testing.T) {
+	sc := Scale{OperatingPoints: mavbench.PaperOperatingPoints()}
+	weak, strong := weakestStrongest(sc)
+	if weak.Cores != 2 || weak.FreqGHz != compute.TX2FreqLowGHz {
+		t.Errorf("weakest point = %+v", weak)
+	}
+	if strong.Cores != 4 || strong.FreqGHz != compute.TX2FreqHighGHz {
+		t.Errorf("strongest point = %+v", strong)
+	}
+}
+
+func TestDifficultySweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := tinyScale()
+	rows, tbl, err := DifficultySweep(sc, "package_delivery", "urban", 103)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One operating point at tiny scale × the difficulty grid.
+	wantRows := len(DifficultyPoints())
+	if len(rows) != wantRows || len(tbl.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(rows), wantRows)
+	}
+	for i, r := range rows {
+		if r.Difficulty != DifficultyPoints()[i] {
+			t.Errorf("row %d difficulty = %g, want %g", i, r.Difficulty, DifficultyPoints()[i])
+		}
+		if r.Scenario != "urban-default" {
+			t.Errorf("row %d scenario = %q (the sweep grades the family from its default anchor)", i, r.Scenario)
+		}
+		if r.MissionTimeS <= 0 {
+			t.Errorf("row %d has no mission time", i)
+		}
+		if r.Collisions > 0 && r.CollisionRate <= 0 {
+			t.Errorf("row %d collision rate not derived: %+v", i, r)
+		}
+	}
+}

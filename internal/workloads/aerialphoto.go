@@ -39,13 +39,21 @@ func (AerialPhotography) Description() string {
 // World implements core.Workload.
 func (AerialPhotography) World(p core.Params) (*env.World, geom.Vec3, error) {
 	p = p.Normalize()
-	cfg := env.DefaultPhotographyConfig(p.Seed)
-	cfg.Width *= p.WorldScale
-	cfg.Depth *= p.WorldScale
-	cfg.PatrolLength *= p.WorldScale
-	w, subject := env.NewPhotographyWorld(cfg)
-	// Start a little behind the subject's patrol line.
-	start := subject.Center().Add(geom.V3(-8, -3, 0))
+	w, err := buildEnvironment(p, "park")
+	if err != nil {
+		return nil, geom.Vec3{}, err
+	}
+	// Park worlds come with a walking subject; cross-matrix runs over other
+	// scenarios get one injected on a patrol through the world center.
+	base := env.DefaultPhotographyConfig(p.Seed)
+	knobs := p.EffectiveKnobs()
+	subject := env.EnsureSubject(w,
+		base.PatrolLength*clampScale(p.WorldScale)*knobs.ExtentScale,
+		base.SubjectSpeed*knobs.DynamicSpeed)
+	// Start a little behind the subject's patrol line — nudged to a clear
+	// spot, which the park default already is (cross-matrix worlds can put a
+	// building there).
+	start := findClearSpot(w, subject.Center().Add(geom.V3(-8, -3, 0)), 2.0)
 	start.Z = 0
 	return w, start, nil
 }

@@ -33,13 +33,10 @@ func (Mapping3D) Description() string {
 // World implements core.Workload.
 func (Mapping3D) World(p core.Params) (*env.World, geom.Vec3, error) {
 	p = p.Normalize()
-	w := buildEnvironment(p, "disaster", func() *env.World {
-		cfg := env.DefaultDisasterConfig(p.Seed)
-		cfg.Width *= p.WorldScale
-		cfg.Depth *= p.WorldScale
-		cfg.SurvivorCount = 0
-		return env.NewDisasterWorld(cfg)
-	})
+	w, err := buildEnvironment(p, "disaster")
+	if err != nil {
+		return nil, geom.Vec3{}, err
+	}
 	start := findClearSpot(w, geom.V3(w.Bounds.Min.X+4, w.Bounds.Min.Y+4, 0), 2.0)
 	return w, start, nil
 }

@@ -29,12 +29,10 @@ func (PackageDelivery) Description() string {
 // World implements core.Workload.
 func (PackageDelivery) World(p core.Params) (*env.World, geom.Vec3, error) {
 	p = p.Normalize()
-	w := buildEnvironment(p, "urban", func() *env.World {
-		cfg := env.DefaultUrbanConfig(p.Seed)
-		cfg.Width *= p.WorldScale
-		cfg.Depth *= p.WorldScale
-		return env.NewUrbanWorld(cfg)
-	})
+	w, err := buildEnvironment(p, "urban")
+	if err != nil {
+		return nil, geom.Vec3{}, err
+	}
 	// Delivery pad in the far quadrant of the map, at a clear spot.
 	pad := findClearSpot(w, geom.V3(w.Bounds.Max.X*0.7, w.Bounds.Max.Y*0.7, 0.1), 2.0)
 	w.AddObstacle(env.KindDeliveryPad, geom.BoxAt(geom.V3(pad.X, pad.Y, 0.1), geom.V3(1, 1, 0.2)), "delivery_pad")

@@ -33,11 +33,10 @@ func (Scanning) Description() string {
 
 // World implements core.Workload.
 func (Scanning) World(p core.Params) (*env.World, geom.Vec3, error) {
-	scale := p.WorldScale
-	cfg := env.DefaultFarmConfig(p.Seed)
-	cfg.Width *= scale
-	cfg.Depth *= scale
-	w := buildEnvironment(p, "farm", func() *env.World { return env.NewFarmWorld(cfg) })
+	w, err := buildEnvironment(p, "farm")
+	if err != nil {
+		return nil, geom.Vec3{}, err
+	}
 	start := findClearSpot(w, geom.V3(w.Bounds.Min.X+5, w.Bounds.Min.Y+5, 0), 2.0)
 	return w, start, nil
 }
@@ -141,46 +140,15 @@ func (Scanning) Setup(s *sim.Simulator, p core.Params) error {
 	})
 }
 
-// buildEnvironment honours the Environment override in Params, falling back
-// to the workload's default generator.
-func buildEnvironment(p core.Params, def string, build func() *env.World) *env.World {
-	name := p.Environment
-	if name == "" {
-		name = def
-	}
-	scale := clampScale(p.WorldScale)
-	switch name {
-	case "urban":
-		cfg := env.DefaultUrbanConfig(p.Seed)
-		cfg.Width *= scale
-		cfg.Depth *= scale
-		return env.NewUrbanWorld(cfg)
-	case "indoor":
-		cfg := env.DefaultIndoorConfig(p.Seed)
-		cfg.Width *= scale
-		cfg.Depth *= scale
-		return env.NewIndoorWorld(cfg)
-	case "farm":
-		cfg := env.DefaultFarmConfig(p.Seed)
-		cfg.Width *= scale
-		cfg.Depth *= scale
-		return env.NewFarmWorld(cfg)
-	case "disaster":
-		cfg := env.DefaultDisasterConfig(p.Seed)
-		cfg.Width *= scale
-		cfg.Depth *= scale
-		return env.NewDisasterWorld(cfg)
-	case "park":
-		cfg := env.DefaultPhotographyConfig(p.Seed)
-		cfg.Width *= scale
-		cfg.Depth *= scale
-		w, _ := env.NewPhotographyWorld(cfg)
-		return w
-	case "empty":
-		return env.BoundedEmptyWorld(100*scale, 40, p.Seed)
-	default:
-		return build()
-	}
+// buildEnvironment resolves the run's environment through the scenario
+// subsystem: the family comes from the named scenario, the Environment
+// override or the workload default (in that order), and the difficulty knobs
+// from the scenario grade, the continuous Difficulty override and any
+// explicit knob overrides. A default run (no scenario, no overrides)
+// reproduces the workload's classic world bit-for-bit — the contract pinned
+// by env.TestBuildFamilyWorldDefaultKnobsMatchLegacy and the golden traces.
+func buildEnvironment(p core.Params, def string) (*env.World, error) {
+	return env.BuildFamilyWorld(p.ScenarioFamily(def), p.Seed, clampScale(p.WorldScale), p.EffectiveKnobs())
 }
 
 func clampScale(s float64) float64 {

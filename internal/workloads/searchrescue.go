@@ -29,12 +29,13 @@ func (SearchAndRescue) Description() string {
 // World implements core.Workload.
 func (SearchAndRescue) World(p core.Params) (*env.World, geom.Vec3, error) {
 	p = p.Normalize()
-	w := buildEnvironment(p, "disaster", func() *env.World {
-		cfg := env.DefaultDisasterConfig(p.Seed)
-		cfg.Width *= p.WorldScale
-		cfg.Depth *= p.WorldScale
-		return env.NewDisasterWorld(cfg)
-	})
+	w, err := buildEnvironment(p, "disaster")
+	if err != nil {
+		return nil, geom.Vec3{}, err
+	}
+	// Cross-matrix runs (search and rescue over an urban or farm scenario)
+	// need a target to find; worlds that already carry one are untouched.
+	env.EnsureSurvivor(w)
 	start := findClearSpot(w, geom.V3(w.Bounds.Min.X+4, w.Bounds.Min.Y+4, 0), 2.0)
 	return w, start, nil
 }

@@ -165,6 +165,29 @@ func (c *Client) Workers(ctx context.Context) (workers []distrib.WorkerStatus, h
 	return body.Workers, body.Healthy, nil
 }
 
+// Scenarios returns the server's difficulty-graded scenario catalog.
+func (c *Client) Scenarios(ctx context.Context) ([]mavbench.ScenarioInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/scenarios", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var body struct {
+		Scenarios []mavbench.ScenarioInfo `json:"scenarios"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Scenarios, nil
+}
+
 func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
 	buf, err := json.Marshal(body)
 	if err != nil {

@@ -1,0 +1,167 @@
+package mavbench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScenarioValidationAtBuildTime pins the scenario error contract: unknown
+// scenario names and out-of-range difficulty knobs fail at NewSpec build time
+// with the valid values listed, matching the workload/kernel error style.
+func TestScenarioValidationAtBuildTime(t *testing.T) {
+	if _, err := NewSpec("package_delivery",
+		WithScenario("urban-dense"),
+		WithDifficulty(0.5),
+		WithScenarioKnobs(ScenarioKnobs{DynamicSpeed: 2}),
+	); err != nil {
+		t.Fatalf("valid scenario spec rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		opts []Option
+		want string
+	}{
+		{"unknown scenario", []Option{WithScenario("urban-extreme")}, "unknown scenario"},
+		{"difficulty too low", []Option{WithDifficulty(-1.5)}, "difficulty"},
+		{"difficulty too high", []Option{WithDifficulty(2)}, "difficulty"},
+		{"negative density knob", []Option{WithScenarioKnobs(ScenarioKnobs{ObstacleDensity: -1})}, "obstacle_density"},
+		{"huge clutter knob", []Option{WithScenarioKnobs(ScenarioKnobs{ClutterScale: 100})}, "clutter_scale"},
+		{"huge dynamic count knob", []Option{WithScenarioKnobs(ScenarioKnobs{DynamicCount: 9})}, "dynamic_count"},
+		{"negative speed knob", []Option{WithScenarioKnobs(ScenarioKnobs{DynamicSpeed: -2})}, "dynamic_speed"},
+		{"huge extent knob", []Option{WithScenarioKnobs(ScenarioKnobs{ExtentScale: 50})}, "extent_scale"},
+		{"scenario and environment", []Option{WithScenario("urban-dense"), WithEnvironment("farm")}, "set one or the other"},
+	}
+	for _, tc := range cases {
+		_, err := NewSpec("package_delivery", tc.opts...)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: NewSpec error = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	// The unknown-scenario error lists the valid catalog names.
+	_, err := NewSpec("package_delivery", WithScenario("urban-extreme"))
+	for _, want := range []string{"urban-dense", "farm-sparse", "indoor-default"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-scenario error should list %q: %v", want, err)
+		}
+	}
+}
+
+func TestScenarioCanonicalizationAndHash(t *testing.T) {
+	// A bare family name is shorthand for its default grade and hashes
+	// identically.
+	short, err := NewSpec("package_delivery", WithScenario("urban"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewSpec("package_delivery", WithScenario("urban-default"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Hash() != full.Hash() {
+		t.Errorf("bare family and default grade hash differently:\n%s\n%s", short.Hash(), full.Hash())
+	}
+	if c := short.Canonical(); c.Scenario != "urban-default" {
+		t.Errorf("canonical scenario = %q, want urban-default", c.Scenario)
+	}
+
+	// Scenario, difficulty and knob changes are all new cache generations.
+	base, _ := NewSpec("package_delivery", WithSeed(5))
+	dense, _ := NewSpec("package_delivery", WithSeed(5), WithScenario("urban-dense"))
+	graded, _ := NewSpec("package_delivery", WithSeed(5), WithDifficulty(0.25))
+	knobbed, _ := NewSpec("package_delivery", WithSeed(5), WithScenarioKnobs(ScenarioKnobs{ObstacleDensity: 1.5}))
+	hashes := map[string]string{
+		"base": base.Hash(), "dense": dense.Hash(), "graded": graded.Hash(), "knobbed": knobbed.Hash(),
+	}
+	seen := map[string]string{}
+	for name, h := range hashes {
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s and %s hash identically despite different scenario settings", prev, name)
+		}
+		seen[h] = name
+	}
+}
+
+func TestScenarioCatalogListing(t *testing.T) {
+	infos := Scenarios()
+	if len(infos) != len(ScenarioFamilies())*3 {
+		t.Fatalf("catalog has %d entries for %d families", len(infos), len(ScenarioFamilies()))
+	}
+	for _, info := range infos {
+		if info.Name == "" || info.Family == "" || info.Grade == "" || info.Description == "" {
+			t.Errorf("incomplete catalog entry: %+v", info)
+		}
+		if !strings.HasPrefix(info.Name, info.Family+"-") {
+			t.Errorf("catalog entry %q not named after its family %q", info.Name, info.Family)
+		}
+	}
+	names := ScenarioNames()
+	if len(names) != len(infos) {
+		t.Fatalf("ScenarioNames has %d entries, catalog %d", len(names), len(infos))
+	}
+	// Every catalog entry builds a valid spec for every workload (the
+	// cross-matrix contract).
+	for _, wl := range []string{"scanning", "package_delivery", "mapping_3d", "search_and_rescue", "aerial_photography"} {
+		for _, name := range names {
+			if _, err := NewSpec(wl, WithScenario(name)); err != nil {
+				t.Errorf("NewSpec(%s, %s): %v", wl, name, err)
+			}
+		}
+	}
+}
+
+func TestScenarioSweepSpecs(t *testing.T) {
+	base, err := NewSpec("package_delivery", WithSeed(9), WithWorldScale(0.3), WithEnvironment("farm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"urban-sparse", "urban-default", "urban-dense"}
+	specs := ScenarioSweepSpecs(base, names)
+	if len(specs) != len(names) {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	for i, s := range specs {
+		if s.Scenario != names[i] {
+			t.Errorf("spec %d scenario = %q, want %q", i, s.Scenario, names[i])
+		}
+		if s.Environment != "" {
+			t.Errorf("spec %d kept the environment override %q", i, s.Environment)
+		}
+		if s.Seed != base.Seed {
+			t.Errorf("spec %d seed changed: scenario sweeps pair worlds by seed", i)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestDifficultySweepSpecs(t *testing.T) {
+	base, err := NewSpec("package_delivery", WithSeed(9), WithScenario("urban-dense"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := []float64{-1, -0.5, 0, 0.5, 1}
+	specs := DifficultySweepSpecs(base, diffs)
+	for i, s := range specs {
+		if s.Difficulty != diffs[i] {
+			t.Errorf("spec %d difficulty = %g, want %g", i, s.Difficulty, diffs[i])
+		}
+		// The dense grade of the base must not leak into the swept specs:
+		// a swept 0 means the default grade.
+		if s.Scenario != "urban-default" {
+			t.Errorf("spec %d scenario = %q, want urban-default", i, s.Scenario)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %d invalid: %v", i, err)
+		}
+	}
+	hashes := map[string]bool{}
+	for _, s := range specs {
+		hashes[s.Hash()] = true
+	}
+	if len(hashes) != len(specs) {
+		t.Errorf("difficulty sweep produced %d unique hashes for %d specs", len(hashes), len(specs))
+	}
+}

@@ -8,6 +8,7 @@
 //	GET  /v1/campaigns/{id}/results    stream results as NDJSON, as they complete
 //	POST /v1/run                       run a spec batch, streaming NDJSON on the request
 //	GET  /v1/workloads                 registered workloads and valid knob values
+//	GET  /v1/scenarios                 the difficulty-graded scenario catalog
 //	GET  /v1/specs/{hash}              canonical spec for a known content address
 //	POST /v1/workers                   register a fleet worker ({"url": ...})
 //	GET  /v1/workers                   fleet status
@@ -174,6 +175,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v1/specs/{hash}", s.handleSpec)
 	mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
 	mux.HandleFunc("GET /v1/workers", s.handleWorkerList)
@@ -339,6 +341,22 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 		Planners:     mavbench.Planners(),
 		Environments: mavbench.Environments(),
 		PaperPoints:  mavbench.PaperOperatingPoints(),
+	})
+}
+
+// scenariosResponse is the GET /v1/scenarios body: the difficulty-graded
+// scenario catalog (see docs/SCENARIOS.md).
+type scenariosResponse struct {
+	Scenarios []mavbench.ScenarioInfo `json:"scenarios"`
+	Families  []string                `json:"families"`
+	Grades    []float64               `json:"difficulty_grades"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, scenariosResponse{
+		Scenarios: mavbench.Scenarios(),
+		Families:  mavbench.ScenarioFamilies(),
+		Grades:    mavbench.DifficultyGrades(),
 	})
 }
 

@@ -293,6 +293,27 @@ func TestWorkloadsEndpoint(t *testing.T) {
 	}
 }
 
+func TestScenariosEndpoint(t *testing.T) {
+	ts := startServer(t)
+	var sr scenariosResponse
+	getJSON(t, ts, "/v1/scenarios", &sr)
+	if len(sr.Families) != 6 || len(sr.Scenarios) != len(sr.Families)*3 {
+		t.Fatalf("catalog incomplete: %d families, %d scenarios", len(sr.Families), len(sr.Scenarios))
+	}
+	names := map[string]bool{}
+	for _, s := range sr.Scenarios {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"urban-sparse", "urban-dense", "farm-default", "indoor-dense"} {
+		if !names[want] {
+			t.Errorf("scenario %s missing from catalog", want)
+		}
+	}
+	if len(sr.Grades) != 3 {
+		t.Errorf("difficulty grades = %v", sr.Grades)
+	}
+}
+
 func getJSON(t *testing.T, ts *httptest.Server, path string, v any) {
 	t.Helper()
 	resp, err := http.Get(ts.URL + path)

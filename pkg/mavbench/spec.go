@@ -10,6 +10,7 @@ import (
 
 	"mavbench/internal/compute"
 	"mavbench/internal/core"
+	"mavbench/internal/env"
 	// Importing the workloads registers the five benchmark applications, so
 	// every consumer of the public API gets a populated registry for free.
 	_ "mavbench/internal/workloads"
@@ -50,6 +51,17 @@ type Spec struct {
 	// Environment overrides the workload's default world (see Environments();
 	// empty keeps the default).
 	Environment string `json:"environment,omitempty"`
+	// Scenario selects a named difficulty-graded environment preset from the
+	// catalog (see Scenarios(); "urban-dense", or a bare family name for its
+	// default grade). Mutually exclusive with Environment — a scenario
+	// already names its family. Empty keeps the workload default.
+	Scenario string `json:"scenario,omitempty"`
+	// Difficulty overrides the scenario's grade on the continuous [-1, 1]
+	// scale (-1 = sparsest, +1 = densest; 0 keeps the scenario's grade).
+	Difficulty float64 `json:"difficulty,omitempty"`
+	// ScenarioKnobs override individual difficulty knobs on top of the
+	// graded difficulty (nil = all graded).
+	ScenarioKnobs *ScenarioKnobs `json:"scenario_knobs,omitempty"`
 	// WorldScale shrinks (<1) or grows (>1) the mission extent (0 = 1.0).
 	WorldScale float64 `json:"world_scale,omitempty"`
 	// MaxMissionTimeS bounds the mission (0 = workload default).
@@ -89,6 +101,45 @@ func (l CloudLink) compute() compute.CloudLink {
 		BandwidthMbps:   l.BandwidthMbps,
 		RTT:             time.Duration(l.RTTMillis * float64(time.Millisecond)),
 		DropProbability: l.DropProbability,
+	}
+}
+
+// ScenarioKnobs are per-knob scenario difficulty overrides: dimensionless
+// multipliers relative to the environment family's default configuration.
+// A zero field keeps the value implied by the graded difficulty; see
+// docs/SCENARIOS.md for what each knob means per family.
+type ScenarioKnobs struct {
+	// ObstacleDensity scales how much of the world is blocked (building
+	// density, wall frequency, tree/rubble counts).
+	ObstacleDensity float64 `json:"obstacle_density,omitempty"`
+	// ClutterScale scales secondary clutter (building footprints and
+	// heights, scattered boxes, rubble size).
+	ClutterScale float64 `json:"clutter_scale,omitempty"`
+	// DynamicCount scales the number of moving obstacles.
+	DynamicCount float64 `json:"dynamic_count,omitempty"`
+	// DynamicSpeed scales moving-obstacle speed.
+	DynamicSpeed float64 `json:"dynamic_speed,omitempty"`
+	// ExtentScale scales the world extents on top of WorldScale.
+	ExtentScale float64 `json:"extent_scale,omitempty"`
+}
+
+func (k ScenarioKnobs) env() env.Knobs {
+	return env.Knobs{
+		ObstacleDensity: k.ObstacleDensity,
+		ClutterScale:    k.ClutterScale,
+		DynamicCount:    k.DynamicCount,
+		DynamicSpeed:    k.DynamicSpeed,
+		ExtentScale:     k.ExtentScale,
+	}
+}
+
+func knobsFromEnv(k env.Knobs) ScenarioKnobs {
+	return ScenarioKnobs{
+		ObstacleDensity: k.ObstacleDensity,
+		ClutterScale:    k.ClutterScale,
+		DynamicCount:    k.DynamicCount,
+		DynamicSpeed:    k.DynamicSpeed,
+		ExtentScale:     k.ExtentScale,
 	}
 }
 
@@ -147,6 +198,25 @@ func WithCloudOffload(link CloudLink) Option {
 
 // WithEnvironment overrides the workload's default world (see Environments()).
 func WithEnvironment(name string) Option { return func(s *Spec) { s.Environment = name } }
+
+// WithScenario selects a named difficulty-graded scenario from the catalog
+// (see Scenarios()): "urban-dense", "farm-sparse", ... A bare family name
+// ("urban") selects its default grade.
+func WithScenario(name string) Option { return func(s *Spec) { s.Scenario = name } }
+
+// WithDifficulty sets the continuous scenario difficulty on the [-1, 1]
+// scale: -1 is the sparse preset, 0 the default, +1 the dense preset, and
+// anything in between interpolates the difficulty knobs linearly.
+func WithDifficulty(d float64) Option { return func(s *Spec) { s.Difficulty = d } }
+
+// WithScenarioKnobs overrides individual difficulty knobs (zero fields keep
+// the graded values).
+func WithScenarioKnobs(k ScenarioKnobs) Option {
+	return func(s *Spec) {
+		kk := k
+		s.ScenarioKnobs = &kk
+	}
+}
 
 // WithWorldScale shrinks (<1) or grows (>1) the mission extent.
 func WithWorldScale(scale float64) Option { return func(s *Spec) { s.WorldScale = scale } }
@@ -247,6 +317,16 @@ func (s Spec) Hash() string {
 		b.WriteString("cloud_link=\n")
 	}
 	fmt.Fprintf(&b, "environment=%s\n", c.Environment)
+	fmt.Fprintf(&b, "scenario=%s\n", c.Scenario)
+	fmt.Fprintf(&b, "difficulty=%s\n", f(c.Difficulty))
+	if c.ScenarioKnobs != nil {
+		fmt.Fprintf(&b, "scenario_knobs=%s,%s,%s,%s,%s\n",
+			f(c.ScenarioKnobs.ObstacleDensity), f(c.ScenarioKnobs.ClutterScale),
+			f(c.ScenarioKnobs.DynamicCount), f(c.ScenarioKnobs.DynamicSpeed),
+			f(c.ScenarioKnobs.ExtentScale))
+	} else {
+		b.WriteString("scenario_knobs=\n")
+	}
 	fmt.Fprintf(&b, "world_scale=%s\n", f(c.WorldScale))
 	fmt.Fprintf(&b, "max_mission_time_s=%s\n", f(c.MaxMissionTimeS))
 	fmt.Fprintf(&b, "keep_traces=%t\n", c.KeepTraces)
@@ -270,12 +350,17 @@ func (s Spec) params() core.Params {
 		DepthNoiseStd:     s.DepthNoiseStd,
 		CloudOffload:      s.CloudOffload,
 		Environment:       s.Environment,
+		Scenario:          s.Scenario,
+		Difficulty:        s.Difficulty,
 		WorldScale:        s.WorldScale,
 		MaxMissionTimeS:   s.MaxMissionTimeS,
 		KeepTraces:        s.KeepTraces,
 	}
 	if s.CloudLink != nil {
 		p.CloudLink = s.CloudLink.compute()
+	}
+	if s.ScenarioKnobs != nil {
+		p.ScenarioKnobs = s.ScenarioKnobs.env()
 	}
 	return p
 }
@@ -296,6 +381,8 @@ func specFromParams(p core.Params) Spec {
 		DepthNoiseStd:     p.DepthNoiseStd,
 		CloudOffload:      p.CloudOffload,
 		Environment:       p.Environment,
+		Scenario:          p.Scenario,
+		Difficulty:        p.Difficulty,
 		WorldScale:        p.WorldScale,
 		MaxMissionTimeS:   p.MaxMissionTimeS,
 		KeepTraces:        p.KeepTraces,
@@ -303,6 +390,10 @@ func specFromParams(p core.Params) Spec {
 	if p.CloudLink != (compute.CloudLink{}) {
 		l := linkFromCompute(p.CloudLink)
 		s.CloudLink = &l
+	}
+	if !p.ScenarioKnobs.IsZero() {
+		k := knobsFromEnv(p.ScenarioKnobs)
+		s.ScenarioKnobs = &k
 	}
 	return s
 }

@@ -78,7 +78,9 @@ func TestHashGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const golden = "3dcd04313c8555ef08e9214d3e1d4840aafc4a7dec3f9d0ef8f6d52d6fd9bc0e"
+	// Updated when the scenario fields (scenario, difficulty, scenario_knobs)
+	// joined the canonical form — a deliberate new cache generation.
+	const golden = "58a19678fc581a6b3242697ca1ddba75300c721f8d9e915e8d3fb0173f2b3eab"
 	if got := spec.Hash(); got != golden {
 		t.Errorf("Hash() = %s, want %s (did Spec's canonical form change?)", got, golden)
 	}
