@@ -1,0 +1,284 @@
+// Fleet load benchmark: campaign submission and end-to-end collection
+// throughput of the mavbenchd coordinator under many concurrent clients,
+// measured against an httptest coordinator fronting two stub workers that
+// answer the /v1/run dispatch protocol without simulating anything — so the
+// numbers isolate the control plane (admission, journaling-off dispatch,
+// sharding, result fan-in, NDJSON streaming), not the simulator.
+//
+// TestEmitFleetBenchJSON (gated by MAVBENCH_BENCH_JSON=1, like
+// TestEmitBenchJSON) writes BENCH_fleet.json for the CI regression gate:
+//
+//	MAVBENCH_BENCH_JSON=1 go test -run TestEmitFleetBenchJSON -v .
+package mavbench_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mavbench/internal/core"
+	"mavbench/internal/des"
+	"mavbench/internal/env"
+	"mavbench/internal/geom"
+	"mavbench/internal/sim"
+	"mavbench/pkg/mavbench"
+	"mavbench/pkg/mavbench/client"
+	"mavbench/pkg/mavbench/distrib"
+	"mavbench/pkg/mavbench/server"
+)
+
+// fleetBenchWorkload exists so specs validate at submission; the stub
+// workers answer them without ever simulating (and if the fleet path ever
+// silently fell back to local execution, the one-simulated-second mission
+// keeps the harness from wedging — and the dispatch-count assertion fails).
+type fleetBenchWorkload struct{}
+
+func (fleetBenchWorkload) Name() string        { return "fleet_bench" }
+func (fleetBenchWorkload) Description() string { return "no-op workload for the fleet load benchmark" }
+func (fleetBenchWorkload) World(p core.Params) (*env.World, geom.Vec3, error) {
+	return env.BoundedEmptyWorld(40, 20, p.Seed), geom.V3(0, 0, 0), nil
+}
+func (fleetBenchWorkload) Setup(s *sim.Simulator, p core.Params) error {
+	s.Engine().Schedule(des.Seconds(1), "fleet_bench/finish", func(*des.Engine) {
+		s.CompleteMission(true, "")
+	})
+	return nil
+}
+
+var registerFleetBenchWorkload = sync.OnceFunc(func() { core.Register(fleetBenchWorkload{}) })
+
+// fleetHarness is a coordinator plus stub workers, torn down as one unit.
+type fleetHarness struct {
+	coord      *httptest.Server
+	srv        *server.Server
+	workers    []*httptest.Server
+	specsRun   atomic.Int64 // specs the stub workers answered
+	nextSeed   atomic.Int64 // unique seeds so the store never short-circuits
+	closeOnce  sync.Once
+	closeFuncs []func()
+}
+
+func (h *fleetHarness) Close() {
+	h.closeOnce.Do(func() {
+		for i := len(h.closeFuncs) - 1; i >= 0; i-- {
+			h.closeFuncs[i]()
+		}
+	})
+}
+
+// stubWorker speaks just enough of the /v1/run dispatch protocol: one canned
+// OK result per spec, no simulation.
+func (h *fleetHarness) stubWorker() *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasSuffix(r.URL.Path, "/v1/run") {
+			http.NotFound(w, r)
+			return
+		}
+		var req distrib.RunRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		for i, spec := range req.Specs {
+			h.specsRun.Add(1)
+			_ = enc.Encode(mavbench.Result{Index: i, SpecHash: spec.Hash(), Spec: spec.Canonical()})
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+	}))
+}
+
+// startFleetHarness builds the benchmark topology: one coordinator (long
+// heartbeat TTL — the stub workers never heartbeat) and nWorkers stub
+// workers, already registered.
+func startFleetHarness(tb testing.TB, nWorkers int, tenants []server.TenantConfig) *fleetHarness {
+	tb.Helper()
+	registerFleetBenchWorkload()
+	h := &fleetHarness{}
+	srv := server.New(server.Config{
+		Workers: 1, // local fallback concurrency; the fleet path does the work
+		Distrib: distrib.Config{HeartbeatTTL: time.Hour},
+		// Room for a full load run's campaigns before eviction starts.
+		MaxCampaigns: 16384,
+		Tenants:      tenants,
+	})
+	h.srv = srv
+	h.coord = httptest.NewServer(srv.Handler())
+	h.closeFuncs = append(h.closeFuncs, h.coord.Close, func() { _ = srv.Close() })
+	for i := 0; i < nWorkers; i++ {
+		w := h.stubWorker()
+		h.workers = append(h.workers, w)
+		h.closeFuncs = append(h.closeFuncs, w.Close)
+		resp, err := http.Post(h.coord.URL+"/v1/workers", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"url": %q}`, w.URL)))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			tb.Fatalf("worker registration = %d", resp.StatusCode)
+		}
+	}
+	tb.Cleanup(h.Close)
+	return h
+}
+
+// runCampaign submits specsPer unique specs and blocks until every result is
+// back — one client "unit of work".
+func (h *fleetHarness) runCampaign(cl *client.Client, specsPer int) error {
+	specs := make([]mavbench.Spec, specsPer)
+	for i := range specs {
+		specs[i] = mavbench.Spec{Workload: "fleet_bench", Seed: h.nextSeed.Add(1), MaxMissionTimeS: 30}
+	}
+	results, err := cl.Run(context.Background(), specs)
+	if err != nil {
+		return err
+	}
+	if len(results) != specsPer {
+		return fmt.Errorf("campaign returned %d of %d results", len(results), specsPer)
+	}
+	return nil
+}
+
+func benchFleetSubmitCollect(b *testing.B, tenants []server.TenantConfig, apiKey string) {
+	h := startFleetHarness(b, 2, tenants)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cl := client.New(h.coord.URL)
+		cl.APIKey = apiKey
+		for pb.Next() {
+			if err := h.runCampaign(cl, 2); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(h.specsRun.Load())/b.Elapsed().Seconds(), "specs/s")
+}
+
+// BenchmarkFleetSubmitCollect measures one client unit of work — submit a
+// 2-spec campaign, stream both results back — under GOMAXPROCS-parallel
+// clients, on the open (single-tenant) admission path.
+func BenchmarkFleetSubmitCollect(b *testing.B) {
+	benchFleetSubmitCollect(b, nil, "")
+}
+
+// BenchmarkFleetSubmitCollectTenanted is the same work through the
+// authenticated multi-tenant admission path (API-key lookup, quota + rate
+// accounting, per-tenant gauges) — the delta against the open benchmark is
+// the cost of tenancy.
+func BenchmarkFleetSubmitCollectTenanted(b *testing.B) {
+	benchFleetSubmitCollect(b, benchTenants(), "key-load-0")
+}
+
+// benchTenants is a permissive roster: admission runs all its checks but
+// never rejects, so the benchmark measures bookkeeping, not backoff.
+func benchTenants() []server.TenantConfig {
+	var ts []server.TenantConfig
+	for i := 0; i < 4; i++ {
+		ts = append(ts, server.TenantConfig{
+			Name:   fmt.Sprintf("load-%d", i),
+			APIKey: fmt.Sprintf("key-load-%d", i),
+			Weight: float64(i + 1),
+		})
+	}
+	return ts
+}
+
+// runFleetLoad drives campaigns×specsPer specs from clients concurrent
+// goroutines against a fresh harness and returns the wall time.
+func runFleetLoad(tb testing.TB, clients, campaigns, specsPer int, tenants []server.TenantConfig) (time.Duration, *fleetHarness) {
+	tb.Helper()
+	h := startFleetHarness(tb, 2, tenants)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	perClient := campaigns / clients
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := client.New(h.coord.URL)
+			if len(tenants) > 0 {
+				cl.APIKey = tenants[c%len(tenants)].APIKey
+			}
+			for i := 0; i < perClient; i++ {
+				if err := h.runCampaign(cl, specsPer); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		tb.Fatal(err)
+	}
+	if got, want := h.specsRun.Load(), int64(campaigns*specsPer); got != want {
+		tb.Fatalf("stub workers ran %d specs, want %d (store short-circuit or lost dispatch)", got, want)
+	}
+	return elapsed, h
+}
+
+// TestFleetLoadSmoke keeps the load harness honest in the ordinary test run:
+// a scaled-down burst (256 campaigns from 32 clients) must complete with
+// every spec dispatched exactly once.
+func TestFleetLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke skipped in -short")
+	}
+	runFleetLoad(t, 32, 256, 2, benchTenants())
+}
+
+// TestEmitFleetBenchJSON regenerates BENCH_fleet.json: the per-campaign
+// submit+collect latency benchmarks plus a fixed-size load run — 2048
+// campaigns (4096 specs) from 128 concurrent clients — reported as
+// throughput. Gated like TestEmitBenchJSON.
+func TestEmitFleetBenchJSON(t *testing.T) {
+	if os.Getenv("MAVBENCH_BENCH_JSON") == "" {
+		t.Skip("set MAVBENCH_BENCH_JSON=1 to regenerate BENCH_*.json")
+	}
+
+	entries := []benchEntry{
+		runBench("fleet/submit_collect/open", func(b *testing.B) {
+			benchFleetSubmitCollect(b, nil, "")
+		}),
+		runBench("fleet/submit_collect/tenanted", func(b *testing.B) {
+			benchFleetSubmitCollect(b, benchTenants(), "key-load-0")
+		}),
+	}
+
+	const clients, campaigns, specsPer = 128, 2048, 2
+	elapsed, _ := runFleetLoad(t, clients, campaigns, specsPer, benchTenants())
+	entries = append(entries, benchEntry{
+		Name:    fmt.Sprintf("fleet/load/clients=%d", clients),
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(campaigns),
+		Ops:     campaigns,
+		Metrics: map[string]float64{
+			"campaigns":         float64(campaigns),
+			"specs":             float64(campaigns * specsPer),
+			"wall_seconds":      elapsed.Seconds(),
+			"campaigns_per_sec": float64(campaigns) / elapsed.Seconds(),
+			"specs_per_sec":     float64(campaigns*specsPer) / elapsed.Seconds(),
+		},
+	})
+
+	writeBenchFile(t, "BENCH_fleet.json", "fleet",
+		"Coordinator control-plane throughput: concurrent campaign submission + NDJSON collection against two stub workers (no simulation), open vs multi-tenant admission, plus a 2048-campaign load burst.",
+		entries)
+}

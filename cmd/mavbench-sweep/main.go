@@ -49,6 +49,8 @@ func main() {
 	freqList := flag.String("freqs", "", "comma-separated frequencies in GHz to sweep (default: all paper points)")
 	scenario := flag.String("scenario", "", "difficulty-graded scenario from the catalog (e.g. urban-dense; bare family = its default grade)")
 	difficulty := flag.String("difficulty", "", "comma-separated continuous difficulties in [-1, 1] to sweep (empty = the scenario's grade)")
+	apiKey := flag.String("api-key", "", "tenant API key for a multi-tenant coordinator (sent as X-API-Key; requires -remote)")
+	priority := flag.Int("priority", 0, "campaign priority 0-8 on a fleet coordinator, clamped to the tenant's ceiling (requires -remote)")
 	flag.Parse()
 
 	opts := []mavbench.Option{
@@ -83,8 +85,15 @@ func main() {
 	}
 
 	if *remote != "" {
-		runRemote(client.New(*remote), specs, *stream, row)
+		cl := client.New(*remote)
+		cl.APIKey = *apiKey
+		cl.Priority = *priority
+		runRemote(cl, specs, *stream, row)
 		return
+	}
+	if *apiKey != "" || *priority != 0 {
+		fmt.Fprintln(os.Stderr, "mavbench-sweep: -api-key and -priority require -remote")
+		os.Exit(2)
 	}
 
 	campaign := mavbench.NewCampaign(specs...).SetWorkers(*workers)

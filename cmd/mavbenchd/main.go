@@ -31,6 +31,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mavbench/pkg/mavbench"
@@ -48,6 +50,9 @@ func main() {
 	join := flag.String("join", "", "coordinator base URL to join (requires -worker)")
 	advertise := flag.String("advertise", "", "URL the coordinator should dispatch to (default http://127.0.0.1:<port of -addr>)")
 	fleetToken := flag.String("fleet-token", "", "shared secret for worker registration: coordinators require it, workers send it (empty = open registration)")
+	tenantsFile := flag.String("tenants", "", "JSON tenant roster: switches POST /v1/campaigns to authenticated multi-tenant admission (X-API-Key)")
+	journalDir := flag.String("journal-dir", "", "write-ahead journal directory: submissions survive a restart (unfinished campaigns resume on startup)")
+	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	flag.Parse()
 
 	if *workerMode != (*join != "") {
@@ -64,6 +69,23 @@ func main() {
 	}
 
 	cfg := server.Config{Workers: *workers, DisableCache: *noCache, FleetToken: *fleetToken}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	if *tenantsFile != "" {
+		tenants, err := server.LoadTenants(*tenantsFile)
+		if err != nil {
+			log.Fatalf("mavbenchd: %v", err)
+		}
+		cfg.Tenants = tenants
+	}
+	if *journalDir != "" {
+		journal, err := server.OpenJournal(*journalDir)
+		if err != nil {
+			log.Fatalf("mavbenchd: %v", err)
+		}
+		cfg.Journal = journal
+	}
 	storeDesc := "memory"
 	if *noCache {
 		storeDesc = "off"
@@ -106,9 +128,36 @@ func main() {
 		}()
 		log.Printf("mavbenchd worker listening on %s (coordinator=%s, advertise=%s, store=%s)", *addr, *join, self, storeDesc)
 	} else {
-		log.Printf("mavbenchd listening on %s (workers=%d, store=%s)", *addr, *workers, storeDesc)
+		extras := ""
+		if len(cfg.Tenants) > 0 {
+			extras += fmt.Sprintf(", tenants=%d", len(cfg.Tenants))
+		}
+		if *journalDir != "" {
+			extras += ", journal=" + *journalDir
+		}
+		log.Printf("mavbenchd listening on %s (workers=%d, store=%s%s)", *addr, *workers, storeDesc, extras)
 	}
-	log.Fatal(httpSrv.ListenAndServe())
+
+	// Graceful shutdown: stop accepting requests, then cancel in-flight
+	// campaigns — journaled ones are resumed by the next start.
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("mavbenchd: %v: shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("mavbenchd: shutdown: %v", err)
+		}
+		if err := srv.Close(); err != nil {
+			log.Printf("mavbenchd: close: %v", err)
+		}
+	}
 }
 
 // advertiseURL derives the URL workers advertise to the coordinator from the

@@ -1,0 +1,378 @@
+// Package metrics is a zero-dependency Prometheus instrumentation library:
+// counters, gauges and histograms (plain and labeled), collected in a
+// Registry that serves the Prometheus text exposition format (version 0.0.4)
+// over HTTP. It exists so mavbenchd can expose a /metrics endpoint without
+// pulling the Prometheus client library into a module that is otherwise
+// dependency-free.
+//
+// All types are safe for concurrent use. Exposition output is deterministic:
+// families sort by name, series by label values — so tests can pin scrapes.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefBuckets are the default histogram buckets, matching the Prometheus
+// client's defaults — a spread suitable for request/dispatch latencies in
+// seconds.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Registry holds metric families and renders them in exposition format.
+// Construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+type familyKind int
+
+const (
+	kindCounter familyKind = iota
+	kindGauge
+	kindHistogram
+	kindGaugeFunc
+)
+
+func (k familyKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// family is one named metric family: its metadata plus every labeled series.
+type family struct {
+	name    string
+	help    string
+	kind    familyKind
+	labels  []string
+	buckets []float64      // histograms only
+	fn      func() float64 // gauge funcs only
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one (label values → value) sample stream within a family.
+type series struct {
+	labelValues []string
+
+	mu    sync.Mutex
+	value float64  // counter / gauge
+	count uint64   // histogram observations
+	sum   float64  // histogram sum
+	binsN []uint64 // histogram per-bucket cumulative-later counts (stored per-bin)
+}
+
+// register fetches or creates a family, enforcing consistent redeclaration:
+// asking twice for the same name with the same shape returns the same family,
+// a conflicting shape panics (a programming error, like the Prometheus
+// client's MustRegister).
+func (r *Registry) register(name, help string, kind familyKind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: %s redeclared with a different shape", name))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("metrics: %s redeclared with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, buckets: buckets, series: map[string]*series{}}
+	r.families[name] = f
+	return f
+}
+
+func (f *family) child(labelValues ...string) *series {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), labelValues...)}
+		if f.kind == kindHistogram {
+			s.binsN = make([]uint64, len(f.buckets))
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.s.mu.Lock()
+	c.s.value += v
+	c.s.mu.Unlock()
+}
+
+// Value returns the current count (for tests).
+func (c *Counter) Value() float64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.s.value
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	g.s.mu.Lock()
+	g.s.value = v
+	g.s.mu.Unlock()
+}
+
+// Add adds v (negative to subtract).
+func (g *Gauge) Add(v float64) {
+	g.s.mu.Lock()
+	g.s.value += v
+	g.s.mu.Unlock()
+}
+
+// Value returns the current value (for tests).
+func (g *Gauge) Value() float64 {
+	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
+	return g.s.value
+}
+
+// Histogram accumulates observations into cumulative buckets.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.s.mu.Lock()
+	h.s.count++
+	h.s.sum += v
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.s.binsN[i]++
+			break
+		}
+	}
+	h.s.mu.Unlock()
+}
+
+// Count returns the number of observations (for tests).
+func (h *Histogram) Count() uint64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.count
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return &Counter{r.register(name, help, kindCounter, nil, nil).child()}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return &Gauge{r.register(name, help, kindGauge, nil, nil).child()}
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindGaugeFunc, nil, nil)
+	f.fn = fn
+}
+
+// Histogram registers (or fetches) an unlabeled histogram. A nil buckets
+// slice selects DefBuckets. Buckets must be sorted ascending.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, kindHistogram, nil, buckets)
+	return &Histogram{f.child(), f.buckets}
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values (created on first use).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return &Counter{v.f.child(labelValues...)}
+}
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values (created on first use).
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return &Gauge{v.f.child(labelValues...)}
+}
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or fetches) a labeled histogram family. A nil
+// buckets slice selects DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{r.register(name, help, kindHistogram, labels, buckets)}
+}
+
+// With returns the histogram for the given label values (created on first
+// use).
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return &Histogram{v.f.child(labelValues...), v.f.buckets}
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// deterministically ordered.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+func (f *family) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	if f.kind == kindGaugeFunc {
+		fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.fn()))
+		return
+	}
+	f.mu.Lock()
+	children := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		children = append(children, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool {
+		a, b := children[i].labelValues, children[j].labelValues
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	for _, s := range children {
+		s.mu.Lock()
+		switch f.kind {
+		case kindHistogram:
+			cum := uint64(0)
+			for i, ub := range f.buckets {
+				cum += s.binsN[i]
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.labelValues, "le", formatValue(ub)), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.labelValues, "le", "+Inf"), s.count)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, s.labelValues, "", ""), formatValue(s.sum))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, s.labelValues, "", ""), s.count)
+		default:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, s.labelValues, "", ""), formatValue(s.value))
+		}
+		s.mu.Unlock()
+	}
+}
+
+// labelString renders {k="v",...} with an optional extra pair (the histogram
+// "le" bound); empty when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+
+// Handler serves the registry in the text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

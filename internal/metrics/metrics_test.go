@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func scrape(r *Registry) string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs processed.")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters only go up
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(4)
+	g.Add(-1)
+
+	out := scrape(r)
+	want := "# HELP depth Queue depth.\n" +
+		"# TYPE depth gauge\n" +
+		"depth 3\n" +
+		"# HELP jobs_total Jobs processed.\n" +
+		"# TYPE jobs_total counter\n" +
+		"jobs_total 3\n"
+	if out != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestVecLabelsSortedAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "Requests.", "endpoint", "status")
+	v.With("/b", "200").Inc()
+	v.With("/a", "500").Add(2)
+	v.With(`/q"uote`+"\n", "200").Inc()
+
+	out := scrape(r)
+	lines := strings.Split(strings.TrimSpace(out), "\n")[2:]
+	want := []string{
+		`req_total{endpoint="/a",status="500"} 2`,
+		`req_total{endpoint="/b",status="200"} 1`,
+		`req_total{endpoint="/q\"uote\n",status="200"} 1`,
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d series lines, want %d:\n%s", len(lines), len(want), out)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := scrape(r)
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 56.05`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 7.0
+	r.GaugeFunc("workers", "Healthy workers.", func() float64 { return n })
+	if !strings.Contains(scrape(r), "workers 7\n") {
+		t.Errorf("gauge func not scraped:\n%s", scrape(r))
+	}
+	n = 2
+	if !strings.Contains(scrape(r), "workers 2\n") {
+		t.Error("gauge func not re-evaluated at scrape time")
+	}
+}
+
+func TestReregistrationReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "x").Inc()
+	r.Counter("c", "x").Inc()
+	if !strings.Contains(scrape(r), "c 2\n") {
+		t.Errorf("re-registered counter did not share state:\n%s", scrape(r))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting redeclaration did not panic")
+		}
+	}()
+	r.Gauge("c", "x")
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "c 1\n") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+// TestConcurrentUse hammers every metric type from many goroutines; run
+// under -race this pins the package's thread safety.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.CounterVec("ops", "x", "kind")
+			h := r.HistogramVec("lat", "x", nil, "kind")
+			g := r.Gauge("depth", "x")
+			for j := 0; j < 500; j++ {
+				c.With("a").Inc()
+				h.With("b").Observe(float64(j))
+				g.Add(1)
+				if j%100 == 0 {
+					scrape(r)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.CounterVec("ops", "x", "kind").With("a").Value(); got != 4000 {
+		t.Errorf("ops{a} = %g, want 4000", got)
+	}
+}

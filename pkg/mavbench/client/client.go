@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"mavbench/pkg/mavbench"
 	"mavbench/pkg/mavbench/distrib"
@@ -24,6 +26,12 @@ type Client struct {
 	// HTTPClient issues the requests (default http.DefaultClient; do not set
 	// a client-level timeout — result streams last as long as campaigns).
 	HTTPClient *http.Client
+	// APIKey authenticates against a multi-tenant server (sent as X-API-Key
+	// on every request; empty = unauthenticated single-tenant mode).
+	APIKey string
+	// Priority is the default campaign priority for Submit/Run/RunStream
+	// (0-8; the server clamps it to the tenant's ceiling).
+	Priority int
 }
 
 // New returns a client for the server at baseURL.
@@ -38,16 +46,39 @@ func (c *Client) client() *http.Client {
 	return http.DefaultClient
 }
 
-// APIError is a non-2xx response from the service, carrying the status code
-// and the {"error": ...} message.
+// do issues a request with the client's credentials attached.
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
+	return c.client().Do(req)
+}
+
+// APIError is a non-2xx response from the service, carrying the status code,
+// the {"error": ...} message, and — for typed admission rejections — the
+// machine-readable code plus the advised retry delay.
 type APIError struct {
 	Status  int
 	Message string
+	// Code is the machine-readable rejection class when the server sent one:
+	// "missing_api_key", "unknown_api_key", "quota_exceeded", "rate_limited".
+	Code string
+	// RetryAfter is the server-advised wait before retrying (rate limits),
+	// zero when the server gave none.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
-	return fmt.Sprintf("mavbenchd returned %d: %s", e.Status, e.Message)
+	msg := fmt.Sprintf("mavbenchd returned %d: %s", e.Status, e.Message)
+	if e.Code != "" {
+		msg += " (" + e.Code + ")"
+	}
+	return msg
 }
+
+// Temporary reports whether retrying later could succeed (429s are
+// temporary; auth failures are not).
+func (e *APIError) Temporary() bool { return e.Status == http.StatusTooManyRequests }
 
 // Ack acknowledges a campaign submission.
 type Ack struct {
@@ -55,14 +86,28 @@ type Ack struct {
 	Count      int      `json:"count"`
 	SpecHashes []string `json:"spec_hashes"`
 	ResultsURL string   `json:"results_url"`
+	// Tenant echoes the tenant the server resolved from the API key.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority echoes the effective (possibly clamped) campaign priority.
+	Priority int `json:"priority,omitempty"`
 }
 
-// Submit posts a campaign and returns its acknowledgement. Results are
-// collected separately with Results (the campaign executes server-side
-// regardless of whether anyone is streaming).
+// Submit posts a campaign at the client's default Priority and returns its
+// acknowledgement. Results are collected separately with Results (the
+// campaign executes server-side regardless of whether anyone is streaming).
 func (c *Client) Submit(ctx context.Context, specs []mavbench.Spec) (Ack, error) {
+	return c.SubmitPriority(ctx, specs, c.Priority)
+}
+
+// SubmitPriority posts a campaign at an explicit priority (overriding the
+// client default for this one submission).
+func (c *Client) SubmitPriority(ctx context.Context, specs []mavbench.Spec, priority int) (Ack, error) {
+	body := map[string]any{"specs": specs}
+	if priority != 0 {
+		body["priority"] = priority
+	}
 	var ack Ack
-	if err := c.postJSON(ctx, "/v1/campaigns", map[string]any{"specs": specs}, &ack); err != nil {
+	if err := c.postJSON(ctx, "/v1/campaigns", body, &ack); err != nil {
 		return Ack{}, err
 	}
 	return ack, nil
@@ -76,7 +121,7 @@ func (c *Client) Results(ctx context.Context, id string, fn func(mavbench.Result
 	if err != nil {
 		return err
 	}
-	resp, err := c.client().Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
@@ -132,7 +177,7 @@ func (c *Client) RunBatch(ctx context.Context, specs []mavbench.Spec, fn func(ma
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.client().Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
@@ -150,7 +195,7 @@ func (c *Client) Workers(ctx context.Context) (workers []distrib.WorkerStatus, h
 	if err != nil {
 		return nil, 0, err
 	}
-	resp, err := c.client().Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -171,7 +216,7 @@ func (c *Client) Scenarios(ctx context.Context) ([]mavbench.ScenarioInfo, error)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.client().Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +243,7 @@ func (c *Client) postJSON(ctx context.Context, path string, body, out any) error
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.client().Do(req)
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
@@ -233,6 +278,30 @@ func decodeNDJSON(r io.Reader, fn func(mavbench.Result) error) error {
 	}
 }
 
+// decodeAPIError turns a non-2xx response into an *APIError, lifting the
+// typed admission fields ({"code": ..., "retry_after_s": ...}) and the
+// Retry-After header when the server sent them.
 func decodeAPIError(resp *http.Response) error {
-	return &APIError{Status: resp.StatusCode, Message: distrib.DecodeErrorBody(resp.Body)}
+	buf, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	apiErr := &APIError{Status: resp.StatusCode}
+	var e struct {
+		Error       string  `json:"error"`
+		Code        string  `json:"code"`
+		RetryAfterS float64 `json:"retry_after_s"`
+	}
+	if json.Unmarshal(buf, &e) == nil && e.Error != "" {
+		apiErr.Message = e.Error
+		apiErr.Code = e.Code
+		if e.RetryAfterS > 0 {
+			apiErr.RetryAfter = time.Duration(e.RetryAfterS * float64(time.Second))
+		}
+	} else {
+		apiErr.Message = string(bytes.TrimSpace(buf))
+	}
+	if apiErr.RetryAfter == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
 }

@@ -43,6 +43,23 @@ type Coordinator struct {
 	// LocalWorkers bounds the local engine's pool when FallbackLocal runs
 	// (<= 0 = one per CPU).
 	LocalWorkers int
+	// Hooks, when set, observe dispatch events (for metrics). Nil funcs are
+	// skipped.
+	Hooks Hooks
+
+	// sched arbitrates worker slots between concurrently running campaigns
+	// (weighted fair share; see StreamJob).
+	sched sched
+}
+
+// Hooks observe the coordinator's dispatch lifecycle — the seam mavbenchd
+// uses to feed its /metrics endpoint without coupling this package to the
+// metrics registry.
+type Hooks struct {
+	// BatchDone fires after every batch dispatch returns: which worker ran
+	// it, how many units it held, how many completed, the batch's wall time,
+	// and the dispatch error (nil when the whole batch completed).
+	BatchDone func(workerID string, units, completed int, elapsed time.Duration, err error)
 }
 
 // unit is one unique spec of a campaign: the unit of dispatch, retry and
@@ -62,11 +79,21 @@ type unit struct {
 // appear (cancellation, matching the local engine) or appear as failed
 // Results (dispatch exhaustion).
 func (co *Coordinator) Stream(ctx context.Context, specs []mavbench.Spec) <-chan mavbench.Result {
+	return co.StreamJob(ctx, specs, JobOptions{})
+}
+
+// StreamJob is Stream with an explicit scheduling identity. Concurrent
+// StreamJob calls on one Coordinator share the fleet under weighted fair
+// scheduling: each campaign receives worker dispatches in proportion to its
+// effective weight (Weight doubled per Priority level), so a long
+// low-priority campaign and a short high-priority one interleave batches
+// instead of the first submitter holding every worker until it finishes.
+func (co *Coordinator) StreamJob(ctx context.Context, specs []mavbench.Spec, opts JobOptions) <-chan mavbench.Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	out := make(chan mavbench.Result, len(specs))
-	go co.run(ctx, specs, out)
+	go co.run(ctx, specs, out, opts)
 	return out
 }
 
@@ -75,12 +102,17 @@ func (co *Coordinator) Stream(ctx context.Context, specs []mavbench.Spec) <-chan
 // the local Campaign.Collect. Per-spec failures are joined into the returned
 // error; successful results are always returned alongside it.
 func (co *Coordinator) Collect(ctx context.Context, specs []mavbench.Spec) ([]mavbench.Result, error) {
+	return co.CollectJob(ctx, specs, JobOptions{})
+}
+
+// CollectJob is Collect with an explicit scheduling identity (see StreamJob).
+func (co *Coordinator) CollectJob(ctx context.Context, specs []mavbench.Spec, opts JobOptions) ([]mavbench.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	results := make([]mavbench.Result, len(specs))
 	seen := make([]bool, len(specs))
-	for res := range co.Stream(ctx, specs) {
+	for res := range co.StreamJob(ctx, specs, opts) {
 		if res.Index >= 0 && res.Index < len(results) {
 			results[res.Index] = res
 			seen[res.Index] = true
@@ -139,11 +171,13 @@ type dispatchOutcome struct {
 	err      error   // why the batch (partially) failed, nil on success
 }
 
-// run is the scheduler: it serves store hits, then dispatches the remaining
-// unique specs in batches to free healthy workers, requeueing the unfinished
-// remainder of failed batches until every unit completes, exhausts its
-// attempts, or the context is canceled.
-func (co *Coordinator) run(ctx context.Context, specs []mavbench.Spec, out chan<- mavbench.Result) {
+// run is the per-campaign scheduler loop: it serves store hits, then
+// dispatches the remaining unique specs in batches to free healthy workers —
+// arbitrated against concurrently running campaigns by the coordinator's
+// weighted fair-share scheduler — requeueing the unfinished remainder of
+// failed batches until every unit completes, exhausts its attempts, or the
+// context is canceled.
+func (co *Coordinator) run(ctx context.Context, specs []mavbench.Spec, out chan<- mavbench.Result, opts JobOptions) {
 	defer close(out)
 	var queue []*unit
 	for _, u := range dedupe(specs) {
@@ -157,6 +191,9 @@ func (co *Coordinator) run(ctx context.Context, specs []mavbench.Spec, out chan<
 		queue = append(queue, u)
 	}
 
+	job := co.sched.register(opts)
+	defer co.sched.unregister(job)
+
 	outcomes := make(chan dispatchOutcome)
 	inflight := 0
 	ctxDone := ctx.Done() // nil for Background-like contexts: blocks forever in select
@@ -164,13 +201,19 @@ func (co *Coordinator) run(ctx context.Context, specs []mavbench.Spec, out chan<
 	var starvedSince time.Time // first moment the queue had no worker to go to
 
 	// Poll for fleet changes (a worker joining or heartbeating back to
-	// health) while work is queued with nothing dispatchable.
+	// health, or another campaign's turn ending) while work is queued with
+	// nothing dispatchable.
 	ticker := time.NewTicker(50 * time.Millisecond)
 	defer ticker.Stop()
 
 	for len(queue) > 0 || inflight > 0 {
-		// Launch as many batches as there are free healthy workers.
+		// Launch as many batches as the fair-share scheduler and the free
+		// dispatchable workers allow.
 		for len(queue) > 0 && !canceled {
+			co.sched.setPending(job, len(queue))
+			if !co.sched.isTurn(job) {
+				break // another campaign's turn; retry on the next tick
+			}
 			id, url, ok := co.Fleet.acquire()
 			if !ok {
 				break
@@ -181,17 +224,24 @@ func (co *Coordinator) run(ctx context.Context, specs []mavbench.Spec, out chan<
 			n := max(1, min(share, co.Config.maxBatch()))
 			batch := queue[:n]
 			queue = queue[n:]
+			co.sched.noteDispatched(job, n)
 			inflight++
+			start := time.Now()
 			go func() {
 				failed, err := co.dispatch(ctx, url, batch, out)
+				if h := co.Hooks.BatchDone; h != nil {
+					h(id, len(batch), len(batch)-len(failed), time.Since(start), err)
+				}
 				outcomes <- dispatchOutcome{workerID: id, units: batch, failed: failed, err: err}
 			}()
 		}
 
-		// Starvation only means a fleet with zero HEALTHY workers: healthy
-		// workers that are merely busy (another campaign, an earlier batch)
-		// free up eventually, so queued work just waits for them.
-		if inflight == 0 && len(queue) > 0 && !canceled && co.Fleet.HealthyCount() == 0 {
+		// Starvation only means a fleet with zero DISPATCHABLE workers:
+		// healthy workers that are merely busy (another campaign, an earlier
+		// batch) free up eventually, so queued work just waits for them —
+		// but a fleet that is empty, all-down, or all-draining will never
+		// take this queue.
+		if inflight == 0 && len(queue) > 0 && !canceled && co.Fleet.DispatchableCount() == 0 {
 			// Give the fleet WaitForWorkers to produce a healthy worker
 			// (registration, or a down one heartbeating back), then give up
 			// on dispatch for what's left.
@@ -203,11 +253,12 @@ func (co *Coordinator) run(ctx context.Context, specs []mavbench.Spec, out chan<
 					co.runLocal(ctx, queue, out)
 				} else {
 					for _, u := range queue {
-						co.failUnit(out, u, fmt.Errorf("distrib: no healthy worker available (fleet has 0 healthy of %d registered)",
-							len(co.Fleet.Workers())))
+						co.failUnit(out, u, fmt.Errorf("distrib: no healthy worker available (fleet has %d healthy, 0 dispatchable of %d registered)",
+							co.Fleet.HealthyCount(), len(co.Fleet.Workers())))
 					}
 				}
 				queue = nil
+				co.sched.setPending(job, 0)
 				continue
 			}
 		} else {
@@ -242,6 +293,7 @@ func (co *Coordinator) run(ctx context.Context, specs []mavbench.Spec, out chan<
 			canceled = true
 			ctxDone = nil // a closed channel would otherwise spin this select
 			queue = nil
+			co.sched.setPending(job, 0)
 		case <-ticker.C:
 		}
 	}

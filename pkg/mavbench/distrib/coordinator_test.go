@@ -3,6 +3,7 @@ package distrib_test
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -19,6 +20,16 @@ import (
 	"mavbench/pkg/mavbench/distrib"
 	"mavbench/pkg/mavbench/server"
 )
+
+// distribWorkloadSeq makes registered workload names unique per test run so
+// the package survives -count=N (the registry panics on duplicate names and
+// persists across runs in one process), and so each run gets fresh gate
+// channels and call counters.
+var distribWorkloadSeq atomic.Int64
+
+func uniqueDistribWorkload(prefix string) string {
+	return fmt.Sprintf("%s_%d", prefix, distribWorkloadSeq.Add(1))
+}
 
 // fleetWorkload is a one-simulated-second workload for fleet tests. calls
 // counts World invocations (i.e. actual simulations); when gateOnce is
@@ -82,8 +93,9 @@ func marshalNormalized(t *testing.T, results []mavbench.Result) []string {
 // sharded across two real workers produces results bit-identical to the
 // local engine, in the same (submission) order.
 func TestFleetVsLocalEquivalence(t *testing.T) {
-	core.Register(&fleetWorkload{name: "distrib_equiv"})
-	specs := specsFor("distrib_equiv", 5)
+	wl := &fleetWorkload{name: uniqueDistribWorkload("distrib_equiv")}
+	core.Register(wl)
+	specs := specsFor(wl.name, 5)
 	specs = append(specs, specs[2]) // repeated spec: one dispatch, two results
 
 	local, err := mavbench.NewCampaign(specs...).Collect(context.Background())
@@ -129,7 +141,7 @@ func TestFleetVsLocalEquivalence(t *testing.T) {
 // mid-campaign and requires the remainder to complete on the surviving
 // worker — the fleet's central failure-semantics pin.
 func TestCoordinatorRequeuesOnWorkerDeath(t *testing.T) {
-	wl := &fleetWorkload{name: "distrib_requeue", gateOnce: make(chan struct{})}
+	wl := &fleetWorkload{name: uniqueDistribWorkload("distrib_requeue"), gateOnce: make(chan struct{})}
 	core.Register(wl)
 
 	w1 := startWorker(t, server.Config{Workers: 1})
@@ -152,7 +164,7 @@ func TestCoordinatorRequeuesOnWorkerDeath(t *testing.T) {
 
 	// Two unique specs across two workers: one batch each. The first World()
 	// call fleet-wide blocks, wedging whichever worker got that spec.
-	specs := specsFor("distrib_requeue", 2)
+	specs := specsFor(wl.name, 2)
 	stream := co.Stream(context.Background(), specs)
 
 	// The unblocked spec completes first; its worker goes idle, leaving
@@ -228,7 +240,7 @@ func TestCoordinatorRequeuesOnWorkerDeath(t *testing.T) {
 // over the same specs is served entirely from the store — zero new
 // simulations anywhere.
 func TestCoordinatorServesRepeatsFromSharedStore(t *testing.T) {
-	wl := &fleetWorkload{name: "distrib_store"}
+	wl := &fleetWorkload{name: uniqueDistribWorkload("distrib_store")}
 	core.Register(wl)
 
 	store, err := mavbench.NewDiskStore(t.TempDir())
@@ -244,7 +256,7 @@ func TestCoordinatorServesRepeatsFromSharedStore(t *testing.T) {
 	fleet.Register(w2.URL)
 	co := &distrib.Coordinator{Fleet: fleet, Store: store}
 
-	specs := specsFor("distrib_store", 4)
+	specs := specsFor(wl.name, 4)
 	first, err := co.Collect(context.Background(), specs)
 	if err != nil {
 		t.Fatalf("first campaign: %v", err)
@@ -279,7 +291,8 @@ func TestCoordinatorServesRepeatsFromSharedStore(t *testing.T) {
 // that accepts batches and never produces results: the idle-result timeout
 // must requeue its batch onto the real worker.
 func TestCoordinatorTimesOutStalledWorker(t *testing.T) {
-	core.Register(&fleetWorkload{name: "distrib_stall"})
+	stallWl := &fleetWorkload{name: uniqueDistribWorkload("distrib_stall")}
+	core.Register(stallWl)
 
 	hung := make(chan struct{})
 	t.Cleanup(func() { close(hung) })
@@ -306,7 +319,7 @@ func TestCoordinatorTimesOutStalledWorker(t *testing.T) {
 	fleet.Register(good.URL)
 	co := &distrib.Coordinator{Fleet: fleet, Config: distrib.Config{ResultTimeout: 500 * time.Millisecond}}
 
-	results, err := co.Collect(context.Background(), specsFor("distrib_stall", 4))
+	results, err := co.Collect(context.Background(), specsFor(stallWl.name, 4))
 	if err != nil {
 		t.Fatalf("campaign across a stalled worker: %v", err)
 	}
@@ -321,14 +334,14 @@ func TestCoordinatorTimesOutStalledWorker(t *testing.T) {
 // FallbackLocal set, a starved coordinator (here: an empty fleet) runs the
 // remaining specs on the in-process engine instead of failing them.
 func TestCoordinatorFallsBackToLocalExecution(t *testing.T) {
-	wl := &fleetWorkload{name: "distrib_fallback"}
+	wl := &fleetWorkload{name: uniqueDistribWorkload("distrib_fallback")}
 	core.Register(wl)
 	co := &distrib.Coordinator{
 		Fleet:         distrib.NewFleet(distrib.Config{}),
 		Config:        distrib.Config{WaitForWorkers: -1},
 		FallbackLocal: true,
 	}
-	results, err := co.Collect(context.Background(), specsFor("distrib_fallback", 3))
+	results, err := co.Collect(context.Background(), specsFor(wl.name, 3))
 	if err != nil {
 		t.Fatalf("fallback campaign: %v", err)
 	}
@@ -346,9 +359,10 @@ func TestCoordinatorFallsBackToLocalExecution(t *testing.T) {
 // fleet with WaitForWorkers < 0 fails every spec immediately, with an error
 // that says what happened.
 func TestCoordinatorFailsFastWithNoWorkers(t *testing.T) {
-	core.Register(&fleetWorkload{name: "distrib_noworkers"})
+	noWl := &fleetWorkload{name: uniqueDistribWorkload("distrib_noworkers")}
+	core.Register(noWl)
 	co := &distrib.Coordinator{Fleet: distrib.NewFleet(distrib.Config{}), Config: distrib.Config{WaitForWorkers: -1}}
-	results, err := co.Collect(context.Background(), specsFor("distrib_noworkers", 2))
+	results, err := co.Collect(context.Background(), specsFor(noWl.name, 2))
 	if err == nil {
 		t.Fatal("campaign with no workers reported success")
 	}

@@ -47,6 +47,13 @@ type Config struct {
 	// appear before failing the remaining specs (default 1m; < 0 fails
 	// immediately).
 	WaitForWorkers time.Duration
+	// DownCooldown is how long a worker stays undispatchable after a failed
+	// dispatch, regardless of heartbeats (default: one HeartbeatInterval).
+	// Heartbeats only say the worker's HTTP server is alive — not that
+	// whatever broke the dispatch is fixed — so a heartbeat racing the
+	// down-mark must not immediately resurrect the worker and burn the
+	// requeued batch's remaining attempts on the same broken endpoint.
+	DownCooldown time.Duration
 }
 
 // HeartbeatIntervalOrDefault returns the heartbeat cadence with the default
@@ -91,6 +98,13 @@ func (c Config) resultTimeout() time.Duration {
 	return c.ResultTimeout
 }
 
+func (c Config) downCooldown() time.Duration {
+	if c.DownCooldown <= 0 {
+		return c.heartbeatInterval()
+	}
+	return c.DownCooldown
+}
+
 func (c Config) waitForWorkers() time.Duration {
 	if c.WaitForWorkers < 0 {
 		return 0
@@ -108,9 +122,15 @@ type worker struct {
 	url        string
 	registered time.Time
 
-	lastBeat   time.Time
-	busy       bool // a dispatch is in flight
-	down       bool // last dispatch failed; cleared by the next heartbeat
+	lastBeat time.Time
+	busy     bool // a dispatch is in flight
+	down     bool // last dispatch failed; cleared by a heartbeat after downUntil
+	// downUntil is the dispatch-failure cooldown deadline: heartbeats
+	// arriving before it refresh liveness but do NOT clear the down mark, so
+	// a heartbeat racing a failure cannot resurrect a broken worker
+	// mid-requeue.
+	downUntil  time.Time
+	draining   bool // finish the in-flight batch, accept no more
 	dispatched int64
 	completed  int64
 	failures   int64
@@ -125,6 +145,9 @@ type WorkerStatus struct {
 	Healthy bool `json:"healthy"`
 	// Busy means a batch is currently dispatched to it.
 	Busy bool `json:"busy"`
+	// Draining means the worker finishes its in-flight batch but receives no
+	// new ones (POST /v1/workers/{id}/drain). Cleared by re-registration.
+	Draining bool `json:"draining,omitempty"`
 	// LastHeartbeatAgeS is the age of the last heartbeat in seconds.
 	LastHeartbeatAgeS float64 `json:"last_heartbeat_age_s"`
 	// Dispatched / Completed / Failures count batch units over the worker's
@@ -155,7 +178,9 @@ func (f *Fleet) Config() Config { return f.cfg }
 
 // Register adds (or re-adds) a worker reachable at url and returns its
 // status. Registration is idempotent by URL: a worker that restarts and
-// registers again keeps one registry entry, freshly marked healthy.
+// registers again keeps one registry entry, freshly marked healthy. An
+// explicit re-registration also clears the dispatch-failure cooldown and any
+// drain mark — rejoining is an affirmative "send me work".
 func (f *Fleet) Register(url string) WorkerStatus {
 	url = strings.TrimRight(url, "/")
 	f.mu.Lock()
@@ -165,6 +190,8 @@ func (f *Fleet) Register(url string) WorkerStatus {
 		if w.url == url {
 			w.lastBeat = now
 			w.down = false
+			w.downUntil = time.Time{}
+			w.draining = false
 			return f.statusLocked(w)
 		}
 	}
@@ -174,7 +201,9 @@ func (f *Fleet) Register(url string) WorkerStatus {
 }
 
 // Heartbeat refreshes a worker's liveness; false means the id is unknown
-// (the worker should re-register).
+// (the worker should re-register). A heartbeat clears a dispatch-failure
+// down mark only once the DownCooldown deadline has passed — a beat that
+// races the failure proves nothing about the failure being fixed.
 func (f *Fleet) Heartbeat(id string) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -182,8 +211,25 @@ func (f *Fleet) Heartbeat(id string) bool {
 	if !ok {
 		return false
 	}
-	w.lastBeat = f.now()
-	w.down = false
+	now := f.now()
+	w.lastBeat = now
+	if w.down && !now.Before(w.downUntil) {
+		w.down = false
+	}
+	return true
+}
+
+// Drain marks a worker as draining: its in-flight batch finishes normally
+// but it receives no further dispatches until it re-registers. False means
+// the id is unknown.
+func (f *Fleet) Drain(id string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[id]
+	if !ok {
+		return false
+	}
+	w.draining = true
 	return true
 }
 
@@ -210,13 +256,31 @@ func (f *Fleet) Workers() []WorkerStatus {
 	return out
 }
 
-// HealthyCount returns how many workers are currently dispatchable.
+// HealthyCount returns how many workers are currently heartbeating and not
+// marked down (drain does not affect health — a draining worker is alive,
+// just not dispatchable).
 func (f *Fleet) HealthyCount() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	n := 0
 	for _, w := range f.workers {
 		if f.healthyLocked(w) {
+			n++
+		}
+	}
+	return n
+}
+
+// DispatchableCount returns how many workers can receive new batches:
+// healthy and not draining. This is the number schedulers should gate on —
+// a fleet where every worker drains can accept no new work even though all
+// of them are healthy.
+func (f *Fleet) DispatchableCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, w := range f.workers {
+		if f.healthyLocked(w) && !w.draining {
 			n++
 		}
 	}
@@ -231,7 +295,7 @@ func (f *Fleet) acquire() (id, url string, ok bool) {
 	defer f.mu.Unlock()
 	var pick *worker
 	for _, w := range f.workers {
-		if !f.healthyLocked(w) || w.busy {
+		if !f.healthyLocked(w) || w.busy || w.draining {
 			continue
 		}
 		if pick == nil || w.dispatched < pick.dispatched ||
@@ -246,13 +310,13 @@ func (f *Fleet) acquire() (id, url string, ok bool) {
 	return pick.id, pick.url, true
 }
 
-// idleHealthy returns how many healthy workers are not currently busy.
+// idleHealthy returns how many dispatchable workers are not currently busy.
 func (f *Fleet) idleHealthy() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	n := 0
 	for _, w := range f.workers {
-		if f.healthyLocked(w) && !w.busy {
+		if f.healthyLocked(w) && !w.busy && !w.draining {
 			n++
 		}
 	}
@@ -260,8 +324,9 @@ func (f *Fleet) idleHealthy() int {
 }
 
 // release returns a worker after a dispatch. units counts the batch units it
-// was given, completed how many finished; failed marks the worker down until
-// its next heartbeat so requeued work lands on other workers first.
+// was given, completed how many finished; failed marks the worker down for
+// at least DownCooldown and until the first heartbeat after that, so
+// requeued work lands on other workers first.
 func (f *Fleet) release(id string, units, completed int, failed bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -275,6 +340,7 @@ func (f *Fleet) release(id string, units, completed int, failed bool) {
 	if failed {
 		w.failures++
 		w.down = true
+		w.downUntil = f.now().Add(f.cfg.downCooldown())
 	}
 }
 
@@ -288,6 +354,7 @@ func (f *Fleet) statusLocked(w *worker) WorkerStatus {
 		URL:               w.url,
 		Healthy:           f.healthyLocked(w),
 		Busy:              w.busy,
+		Draining:          w.draining,
 		LastHeartbeatAgeS: f.now().Sub(w.lastBeat).Seconds(),
 		Dispatched:        w.dispatched,
 		Completed:         w.completed,

@@ -59,7 +59,7 @@ func TestFleetHeartbeatAndTTL(t *testing.T) {
 }
 
 func TestFleetDispatchFailureMarksDownUntilHeartbeat(t *testing.T) {
-	f, _ := newTestFleet(Config{})
+	f, clk := newTestFleet(Config{})
 	w := f.Register("http://w1:8080")
 	id, url, ok := f.acquire()
 	if !ok || id != w.ID || url != "http://w1:8080" {
@@ -75,13 +75,152 @@ func TestFleetDispatchFailureMarksDownUntilHeartbeat(t *testing.T) {
 	if _, _, ok := f.acquire(); ok {
 		t.Error("down worker dispatchable before heartbeating back")
 	}
+	// A heartbeat during the cooldown refreshes liveness but must not clear
+	// the down mark (see TestFleetHeartbeatCannotResurrectDuringCooldown).
+	f.Heartbeat(id)
+	if _, _, ok := f.acquire(); ok {
+		t.Error("worker dispatchable before the down cooldown elapsed")
+	}
+	clk.advance(Config{}.downCooldown())
 	f.Heartbeat(id)
 	if _, _, ok := f.acquire(); !ok {
-		t.Error("worker not dispatchable after heartbeat cleared the down mark")
+		t.Error("worker not dispatchable after a post-cooldown heartbeat cleared the down mark")
 	}
 	st := f.Workers()[0]
 	if st.Dispatched != 3 || st.Completed != 1 || st.Failures != 1 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestFleetHeartbeatCannotResurrectDuringCooldown reproduces the latent race
+// this fix closes: a worker's heartbeat is in flight while its dispatch
+// fails. Before the DownCooldown deadline existed, the beat landing just
+// after the down-mark flipped the worker healthy again instantly, so the
+// requeued remainder of the failed batch could land straight back on the
+// broken worker and burn its remaining attempts.
+func TestFleetHeartbeatCannotResurrectDuringCooldown(t *testing.T) {
+	f, clk := newTestFleet(Config{DownCooldown: 10 * time.Second})
+	w := f.Register("http://w1:8080")
+	id, _, _ := f.acquire()
+	f.release(id, 2, 0, true)
+	// The racing heartbeat arrives "immediately after" the failure.
+	f.Heartbeat(w.ID)
+	if f.HealthyCount() != 0 {
+		t.Fatal("racing heartbeat resurrected a just-failed worker")
+	}
+	if _, _, ok := f.acquire(); ok {
+		t.Fatal("just-failed worker dispatchable despite cooldown")
+	}
+	// Beats keep arriving during the cooldown; none of them clears it.
+	clk.advance(9 * time.Second)
+	f.Heartbeat(w.ID)
+	if f.HealthyCount() != 0 {
+		t.Error("mid-cooldown heartbeat resurrected the worker")
+	}
+	// The first beat at/after the deadline does.
+	clk.advance(time.Second)
+	f.Heartbeat(w.ID)
+	if f.HealthyCount() != 1 {
+		t.Error("post-cooldown heartbeat did not restore health")
+	}
+}
+
+// TestFleetDownHeartbeatRaceUnderConcurrency hammers Heartbeat from a
+// goroutine while dispatches fail: immediately after every failed release
+// the worker must be un-acquirable, no matter how the beats interleave.
+// Run under -race this also pins the locking.
+func TestFleetDownHeartbeatRaceUnderConcurrency(t *testing.T) {
+	f, _ := newTestFleet(Config{DownCooldown: time.Hour})
+	w := f.Register("http://w1:8080")
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				f.Heartbeat(w.ID)
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		id, _, ok := f.acquire()
+		if i == 0 && !ok {
+			t.Fatal("first acquire failed")
+		}
+		if !ok {
+			t.Fatalf("iteration %d: down worker acquired after cooldown should forbid it", i)
+		}
+		f.release(id, 1, 0, true)
+		if _, _, ok := f.acquire(); ok {
+			t.Fatalf("iteration %d: worker dispatchable right after a failed dispatch", i)
+		}
+		// Simulate the operator fixing it: re-registration clears the mark.
+		f.Register("http://w1:8080")
+	}
+	close(stop)
+	<-done
+}
+
+func TestFleetDrain(t *testing.T) {
+	f, _ := newTestFleet(Config{})
+	w1 := f.Register("http://w1:8080")
+	w2 := f.Register("http://w2:8080")
+	if !f.Drain(w1.ID) {
+		t.Fatal("drain of known worker failed")
+	}
+	if f.Drain("wdeadbeef") {
+		t.Error("drain of unknown worker succeeded")
+	}
+	// Draining workers stay healthy but are not dispatchable.
+	if h := f.HealthyCount(); h != 2 {
+		t.Errorf("HealthyCount = %d, want 2 (drain is not ill health)", h)
+	}
+	if d := f.DispatchableCount(); d != 1 {
+		t.Errorf("DispatchableCount = %d, want 1", d)
+	}
+	id, _, ok := f.acquire()
+	if !ok || id != w2.ID {
+		t.Errorf("acquire = %q %v, want the undrained worker %q", id, ok, w2.ID)
+	}
+	if _, _, ok := f.acquire(); ok {
+		t.Error("drained worker acquired")
+	}
+	for _, st := range f.Workers() {
+		if st.ID == w1.ID && !st.Draining {
+			t.Error("drained worker not reported draining")
+		}
+	}
+	// Heartbeats do not clear a drain; re-registration does.
+	f.Heartbeat(w1.ID)
+	if f.DispatchableCount() != 1 {
+		t.Error("heartbeat cleared the drain mark")
+	}
+	f.Register("http://w1:8080")
+	if f.DispatchableCount() != 2 {
+		t.Error("re-registration did not clear the drain mark")
+	}
+}
+
+// TestFleetDrainFinishesInFlightBatch drains a busy worker: the in-flight
+// batch's release still records its stats, and no new acquire reaches it.
+func TestFleetDrainFinishesInFlightBatch(t *testing.T) {
+	f, _ := newTestFleet(Config{})
+	w := f.Register("http://w1:8080")
+	id, _, ok := f.acquire()
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+	f.Drain(w.ID)
+	f.release(id, 4, 4, false) // the in-flight batch finishes normally
+	st := f.Workers()[0]
+	if st.Dispatched != 4 || st.Completed != 4 || st.Failures != 0 {
+		t.Errorf("stats after drained release = %+v", st)
+	}
+	if _, _, ok := f.acquire(); ok {
+		t.Error("drained worker re-acquired after its batch finished")
 	}
 }
 

@@ -1,0 +1,131 @@
+package distrib
+
+import "sync"
+
+// JobOptions names a campaign's scheduling identity: who submitted it and
+// how its dispatch share compares to concurrently running campaigns. The
+// zero value is a weight-1, priority-0 job — exactly the pre-fair-share
+// behavior when it runs alone.
+type JobOptions struct {
+	// Tenant labels the job for observability (it does not affect
+	// scheduling by itself; tenant-level shares come from Weight).
+	Tenant string
+	// Priority raises the job's dispatch share: each level doubles its
+	// effective weight (clamped to [0, 8]). Priority is a share multiplier,
+	// not preemption — lower-priority campaigns still make progress, they
+	// just receive proportionally fewer worker slots.
+	Priority int
+	// Weight is the job's fair-share weight (<= 0 means 1). Two concurrent
+	// jobs with weights 3 and 1 receive worker dispatches roughly 3:1.
+	Weight float64
+}
+
+// effWeight folds priority into the fair-share weight: each priority level
+// doubles the share.
+func (o JobOptions) effWeight() float64 {
+	w := o.Weight
+	if w <= 0 {
+		w = 1
+	}
+	p := o.Priority
+	if p < 0 {
+		p = 0
+	}
+	if p > 8 {
+		p = 8
+	}
+	return w * float64(uint(1)<<uint(p))
+}
+
+// schedJob is one active campaign in the coordinator's fair-share scheduler.
+type schedJob struct {
+	opts    JobOptions
+	pending int     // unique specs still queued for dispatch
+	served  float64 // unique specs dispatched so far (virtual-time numerator)
+}
+
+// vtime is the job's weighted virtual time: the scheduler always grants the
+// next free worker to the backlogged job with the smallest vtime, which is
+// classic weighted fair queuing — a job with twice the effective weight
+// accumulates vtime half as fast and therefore receives twice the
+// dispatches.
+func (j *schedJob) vtime() float64 { return j.served / j.opts.effWeight() }
+
+// sched arbitrates worker slots between concurrently running campaigns.
+// Each campaign's run loop registers a job, keeps its pending count current,
+// and asks isTurn before acquiring a worker; loops that are refused retry on
+// their poll tick, by which time the winning job has either dispatched
+// (moving its vtime forward) or gone idle.
+type sched struct {
+	mu   sync.Mutex
+	jobs map[*schedJob]struct{}
+}
+
+// register adds a job, starting its virtual time at the minimum vtime of the
+// currently backlogged jobs so a newcomer neither monopolizes the fleet
+// (vtime 0 would win every slot until it caught up) nor waits behind
+// long-running campaigns' accumulated history.
+func (s *sched) register(opts JobOptions) *schedJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobs == nil {
+		s.jobs = map[*schedJob]struct{}{}
+	}
+	j := &schedJob{opts: opts}
+	minV, any := 0.0, false
+	for other := range s.jobs {
+		if v := other.vtime(); !any || v < minV {
+			minV, any = v, true
+		}
+	}
+	if any {
+		j.served = minV * j.opts.effWeight()
+	}
+	s.jobs[j] = struct{}{}
+	return j
+}
+
+func (s *sched) unregister(j *schedJob) {
+	s.mu.Lock()
+	delete(s.jobs, j)
+	s.mu.Unlock()
+}
+
+// setPending publishes how many units the job still has queued.
+func (s *sched) setPending(j *schedJob, n int) {
+	s.mu.Lock()
+	j.pending = n
+	s.mu.Unlock()
+}
+
+// isTurn reports whether j is the backlogged job with the smallest virtual
+// time — the one the next free worker belongs to. The check and the
+// subsequent Fleet.acquire are deliberately not atomic: the worst case is
+// one slot granted slightly out of share order, and the vtime accounting
+// self-corrects on the next grant. What matters is that no backlogged job
+// can be starved: every grant advances the winner's vtime, so any other
+// backlogged job's vtime eventually becomes the smallest.
+func (s *sched) isTurn(j *schedJob) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.pending <= 0 {
+		return false
+	}
+	for other := range s.jobs {
+		if other == j || other.pending <= 0 {
+			continue
+		}
+		if other.vtime() < j.vtime() {
+			return false
+		}
+	}
+	return true
+}
+
+// noteDispatched moves n units from pending to served.
+func (s *sched) noteDispatched(j *schedJob, n int) {
+	s.mu.Lock()
+	j.served += float64(n)
+	j.pending -= n
+	s.mu.Unlock()
+}

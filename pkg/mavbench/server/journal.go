@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"mavbench/pkg/mavbench"
+)
+
+// Journal is the server's write-ahead log of campaign intent: one NDJSON file
+// per campaign under a directory, recording the submitted specs and each
+// spec's completion. A coordinator killed mid-campaign replays the journal on
+// restart (see Recover) and resumes every unfinished campaign; because specs
+// are deterministic and completed results live in the content-addressed
+// store, the resumed campaign's results are bit-identical to an uninterrupted
+// run.
+//
+// File layout (<dir>/<campaign-id>.journal):
+//
+//	{"id":"c…","tenant":"team-a","priority":2,"specs":[…]}   header, written at submission
+//	{"done":4}                                               spec 4 completed
+//	{"done":0}
+//	{"finished":true}                                        terminal marker
+//
+// Every line is appended with a single O_APPEND write followed by fsync, so a
+// crash can lose at most the line being written; Recover tolerates a
+// truncated final line. Finished journals are deleted — the directory holds
+// exactly the campaigns a restart must resume.
+type Journal struct {
+	dir string
+
+	mu   sync.Mutex
+	open map[string]*os.File
+}
+
+// OpenJournal opens (creating if needed) a journal directory.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("creating journal dir: %w", err)
+	}
+	return &Journal{dir: dir, open: map[string]*os.File{}}, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// journalHeader is a journal file's first line.
+type journalHeader struct {
+	ID       string          `json:"id"`
+	Tenant   string          `json:"tenant,omitempty"`
+	Priority int             `json:"priority,omitempty"`
+	Specs    []mavbench.Spec `json:"specs"`
+}
+
+// journalMark is every subsequent line: a completion or the terminal marker.
+type journalMark struct {
+	Done     *int `json:"done,omitempty"`
+	Finished bool `json:"finished,omitempty"`
+}
+
+func (j *Journal) path(id string) string {
+	return filepath.Join(j.dir, id+".journal")
+}
+
+// Begin journals a campaign's intent before any spec runs. It must be called
+// (and synced) before the submission is acknowledged, so an acknowledged
+// campaign is guaranteed to survive a crash.
+func (j *Journal) Begin(id, tenant string, priority int, specs []mavbench.Spec) error {
+	line, err := json.Marshal(journalHeader{ID: id, Tenant: tenant, Priority: priority, Specs: specs})
+	if err != nil {
+		return fmt.Errorf("journal %s: encoding header: %w", id, err)
+	}
+	f, err := os.OpenFile(j.path(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal %s: %w", id, err)
+	}
+	j.mu.Lock()
+	j.open[id] = f
+	j.mu.Unlock()
+	return j.append(id, line)
+}
+
+// MarkDone journals one spec's completion (by its index in the header's spec
+// list).
+func (j *Journal) MarkDone(id string, index int) error {
+	line, _ := json.Marshal(journalMark{Done: &index})
+	return j.append(id, line)
+}
+
+// Finish journals the terminal marker and deletes the file — the campaign no
+// longer needs recovery.
+func (j *Journal) Finish(id string) error {
+	line, _ := json.Marshal(journalMark{Finished: true})
+	if err := j.append(id, line); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	f := j.open[id]
+	delete(j.open, id)
+	j.mu.Unlock()
+	if f != nil {
+		_ = f.Close()
+	}
+	return os.Remove(j.path(id))
+}
+
+// append writes one line (newline added) as a single write + fsync. The
+// journal mutex serializes appends across campaigns so interleaved lines
+// cannot shear.
+func (j *Journal) append(id string, line []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f := j.open[id]
+	if f == nil {
+		// Resumed campaign whose file was recovered but never re-opened, or a
+		// late completion after Finish: reopen (without O_EXCL) or drop.
+		var err error
+		f, err = os.OpenFile(j.path(id), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil // finished and removed; nothing to record
+			}
+			return fmt.Errorf("journal %s: %w", id, err)
+		}
+		j.open[id] = f
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("journal %s: append: %w", id, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("journal %s: sync: %w", id, err)
+	}
+	return nil
+}
+
+// Close closes every open journal file (the files remain for Recover).
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for id, f := range j.open {
+		_ = f.Close()
+		delete(j.open, id)
+	}
+	return nil
+}
+
+// RecoveredCampaign is one unfinished campaign found by Recover.
+type RecoveredCampaign struct {
+	ID       string
+	Tenant   string
+	Priority int
+	Specs    []mavbench.Spec
+	// Done[i] reports whether spec i completed before the crash. Completed
+	// specs' results are expected in the content-addressed store; either way
+	// the resumed campaign re-submits every spec and determinism makes the
+	// results identical.
+	Done []bool
+}
+
+// Remaining counts the specs still to run.
+func (rc *RecoveredCampaign) Remaining() int {
+	n := 0
+	for _, d := range rc.Done {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Recover scans the journal directory and returns every unfinished campaign,
+// oldest submission first (journal ids embed no ordering, so order is by file
+// modification time, then name, for determinism). Corrupt or truncated final
+// lines are tolerated — at worst one completion mark is forgotten, and the
+// spec simply re-runs (idempotent via the result store). Files recording a
+// finished campaign are deleted.
+func (j *Journal) Recover() ([]RecoveredCampaign, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("reading journal dir: %w", err)
+	}
+	type cand struct {
+		rc  RecoveredCampaign
+		mod int64
+	}
+	var found []cand
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".journal") {
+			continue
+		}
+		path := filepath.Join(j.dir, ent.Name())
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		rc, finished, ok := parseJournal(buf)
+		if !ok || finished {
+			// Unparseable header (torn write before the first sync returned —
+			// the submission was never acknowledged) or already finished:
+			// nothing to resume.
+			_ = os.Remove(path)
+			continue
+		}
+		info, _ := ent.Info()
+		var mod int64
+		if info != nil {
+			mod = info.ModTime().UnixNano()
+		}
+		found = append(found, cand{rc: rc, mod: mod})
+	}
+	sort.Slice(found, func(a, b int) bool {
+		if found[a].mod != found[b].mod {
+			return found[a].mod < found[b].mod
+		}
+		return found[a].rc.ID < found[b].rc.ID
+	})
+	out := make([]RecoveredCampaign, len(found))
+	for i, c := range found {
+		out[i] = c.rc
+	}
+	return out, nil
+}
+
+// parseJournal decodes one journal file, tolerating a truncated final line.
+func parseJournal(buf []byte) (rc RecoveredCampaign, finished, ok bool) {
+	lines := bytes.Split(buf, []byte{'\n'})
+	var hdr journalHeader
+	if len(lines) == 0 || json.Unmarshal(lines[0], &hdr) != nil || hdr.ID == "" || len(hdr.Specs) == 0 {
+		return rc, false, false
+	}
+	rc = RecoveredCampaign{
+		ID: hdr.ID, Tenant: hdr.Tenant, Priority: hdr.Priority,
+		Specs: hdr.Specs, Done: make([]bool, len(hdr.Specs)),
+	}
+	for _, line := range lines[1:] {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var m journalMark
+		if json.Unmarshal(line, &m) != nil {
+			continue // truncated tail — forget at most this one mark
+		}
+		if m.Finished {
+			finished = true
+		}
+		if m.Done != nil && *m.Done >= 0 && *m.Done < len(rc.Done) {
+			rc.Done[*m.Done] = true
+		}
+	}
+	return rc, finished, true
+}

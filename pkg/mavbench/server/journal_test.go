@@ -1,0 +1,177 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mavbench/pkg/mavbench"
+)
+
+func journalSpecs(n int) []mavbench.Spec {
+	specs := make([]mavbench.Spec, n)
+	for i := range specs {
+		specs[i] = mavbench.Spec{Workload: "scanning", Seed: int64(i + 1), MaxMissionTimeS: 30}
+	}
+	return specs
+}
+
+// TestJournalLifecycle walks one campaign through the write-ahead log: Begin
+// makes it recoverable, MarkDone shrinks what recovery would redo, Finish
+// removes it entirely.
+func TestJournalLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := journalSpecs(3)
+	if err := j.Begin("c01", "team-a", 2, specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.MarkDone("c01", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second handle over the same directory (a restarted server) sees the
+	// unfinished campaign with exactly the journaled completion state.
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d campaigns, want 1", len(recovered))
+	}
+	rc := recovered[0]
+	if rc.ID != "c01" || rc.Tenant != "team-a" || rc.Priority != 2 || len(rc.Specs) != 3 {
+		t.Errorf("recovered = %+v", rc)
+	}
+	if !rc.Done[1] || rc.Done[0] || rc.Done[2] || rc.Remaining() != 2 {
+		t.Errorf("done bitmap = %v", rc.Done)
+	}
+	if rc.Specs[0].Hash() != specs[0].Hash() {
+		t.Error("recovered specs lost their identity")
+	}
+
+	if err := j.Finish("c01"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "c01.journal")); !os.IsNotExist(err) {
+		t.Error("finished journal file not removed")
+	}
+	if recovered, _ := j2.Recover(); len(recovered) != 0 {
+		t.Errorf("finished campaign still recovered: %+v", recovered)
+	}
+}
+
+// TestJournalRecoverOrdersBySubmission pins recovery order: oldest journal
+// first, so a restarted server resumes campaigns in rough submission order.
+func TestJournalRecoverOrdersBySubmission(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin("c_first", "", 0, journalSpecs(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct mtimes (coarse filesystems round below a millisecond).
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, "c_first.journal"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin("c_second", "", 0, journalSpecs(1)); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 2 || recovered[0].ID != "c_first" || recovered[1].ID != "c_second" {
+		t.Fatalf("recovery order = %+v", recovered)
+	}
+}
+
+// TestJournalToleratesTruncatedTail simulates a crash mid-append: the final
+// line is sheared. Recovery must keep every intact mark and forget at most
+// the torn one (the spec re-runs; the store makes that idempotent).
+func TestJournalToleratesTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin("c02", "team-b", 0, journalSpecs(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.MarkDone("c02", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Shear the file mid-way through a trailing {"done":3} append.
+	path := filepath.Join(dir, "c02.journal")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, []byte(`{"don`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d campaigns, want 1", len(recovered))
+	}
+	rc := recovered[0]
+	if !rc.Done[0] || rc.Remaining() != 3 {
+		t.Errorf("done bitmap after truncation = %v", rc.Done)
+	}
+}
+
+// TestJournalDiscardsTornHeader: a file whose header never fully landed
+// belongs to a submission that was never acknowledged — recovery removes it
+// instead of resurrecting half a campaign.
+func TestJournalDiscardsTornHeader(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ctorn.journal")
+	if err := os.WriteFile(path, []byte(`{"id":"ctorn","specs":[{"worklo`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("torn header recovered as %+v", recovered)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("torn journal file not cleaned up")
+	}
+}
+
+// TestJournalBeginRefusesDuplicateID: campaign ids are unique; colliding
+// journals would interleave two campaigns' marks.
+func TestJournalBeginRefusesDuplicateID(t *testing.T) {
+	j, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin("c03", "", 0, journalSpecs(1)); err != nil {
+		t.Fatal(err)
+	}
+	err = j.Begin("c03", "", 0, journalSpecs(1))
+	if err == nil || !strings.Contains(err.Error(), "c03") {
+		t.Fatalf("duplicate Begin error = %v", err)
+	}
+}

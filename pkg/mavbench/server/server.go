@@ -3,7 +3,7 @@
 //
 // Endpoints:
 //
-//	POST /v1/campaigns                  submit a campaign ({"specs": [...]})
+//	POST /v1/campaigns                  submit a campaign ({"specs": [...], "priority": N})
 //	GET  /v1/campaigns/{id}            campaign status summary
 //	GET  /v1/campaigns/{id}/results    stream results as NDJSON, as they complete
 //	POST /v1/run                       run a spec batch, streaming NDJSON on the request
@@ -13,7 +13,9 @@
 //	POST /v1/workers                   register a fleet worker ({"url": ...})
 //	GET  /v1/workers                   fleet status
 //	POST /v1/workers/{id}/heartbeat    worker liveness
+//	POST /v1/workers/{id}/drain        stop dispatching to a worker (graceful removal)
 //	DELETE /v1/workers/{id}            deregister a worker
+//	GET  /metrics                      Prometheus exposition (see docs/DISTRIBUTED.md)
 //
 // Results stream incrementally: a client reading the NDJSON response sees
 // each run's result the moment it completes, long before the campaign
@@ -25,8 +27,16 @@
 // executing in-process; /v1/run always executes locally — it is the endpoint
 // the coordinator dispatches to.
 //
+// With Config.Tenants set the submission endpoint is multi-tenant: requests
+// authenticate with X-API-Key, and each tenant's quotas, submission rate and
+// fair-share weight apply (429/403 rejections carry a machine-readable
+// "code"). With Config.Journal set, submissions are write-ahead journaled so
+// a coordinator restart resumes every unfinished campaign.
+//
 // Every error response carries a JSON body of the form {"error": "..."},
-// including 404s for unknown routes and 405s for wrong methods.
+// including 404s for unknown routes and 405s for wrong methods; admission
+// rejections add "code" (and "retry_after_s" plus a Retry-After header for
+// rate limits).
 package server
 
 import (
@@ -38,8 +48,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
+	"mavbench/internal/metrics"
 	"mavbench/pkg/mavbench"
 	"mavbench/pkg/mavbench/distrib"
 )
@@ -70,23 +84,51 @@ type Config struct {
 	// Distrib tunes fleet membership and dispatch (zero values = defaults).
 	Distrib distrib.Config
 	// FleetToken, when non-empty, is required (as "Authorization: Bearer
-	// <token>") on the worker-registry endpoints — registration, heartbeat
-	// and deregistration — so only trusted workers can join the fleet and
-	// feed results into the shared store. Empty means open registration;
+	// <token>") on the worker-registry endpoints — registration, heartbeat,
+	// drain and deregistration — so only trusted workers can join the fleet
+	// and feed results into the shared store. Empty means open registration;
 	// see docs/DISTRIBUTED.md for the trust model.
 	FleetToken string
 	// DisableLocalFallback keeps campaigns failing (instead of running
 	// in-process) when every fleet worker is unavailable mid-campaign.
 	DisableLocalFallback bool
+	// Tenants, when non-empty, switches POST /v1/campaigns to authenticated
+	// multi-tenant admission (X-API-Key). Empty preserves the open
+	// single-tenant behavior.
+	Tenants []TenantConfig
+	// Journal, when non-nil, write-ahead journals every submission so a
+	// restarted server resumes unfinished campaigns (see OpenJournal and
+	// Resume semantics in docs/DISTRIBUTED.md).
+	Journal *Journal
+	// Logf receives one line per request (and recovery events). Nil disables
+	// request logging.
+	Logf func(format string, args ...any)
 }
 
 // Server is the mavbenchd HTTP service. Construct with New; it is safe for
 // concurrent use.
 type Server struct {
-	cfg   Config
-	cache mavbench.ResultStore
-	fleet *distrib.Fleet
-	coord *distrib.Coordinator
+	cfg     Config
+	cache   mavbench.ResultStore
+	fleet   *distrib.Fleet
+	coord   *distrib.Coordinator
+	roster  *tenantRoster
+	journal *Journal
+
+	baseCtx    context.Context // cancels every campaign on Close
+	baseCancel context.CancelFunc
+
+	reg           *metrics.Registry
+	mRequests     *metrics.CounterVec   // by endpoint, code
+	mReqDur       *metrics.HistogramVec // by endpoint
+	mDispatchDur  *metrics.Histogram
+	mBatches      *metrics.CounterVec // by outcome
+	mTenantActive *metrics.GaugeVec   // by tenant
+	mTenantQueued *metrics.GaugeVec   // by tenant
+	mCampaigns    *metrics.CounterVec // by tenant
+	mRejected     *metrics.CounterVec // by code
+	mStoreHits    *metrics.Counter
+	mStoreMisses  *metrics.Counter
 
 	mu        sync.RWMutex
 	campaigns map[string]*campaign
@@ -99,8 +141,10 @@ type Server struct {
 // append under mu; updated is re-made on every append and closed to wake
 // streaming readers (a broadcast without condition variables).
 type campaign struct {
-	id    string
-	specs []mavbench.Spec
+	id       string
+	specs    []mavbench.Spec
+	tenant   *tenant // nil when the owning tenant left the roster
+	priority int
 
 	mu      sync.Mutex
 	results []mavbench.Result
@@ -136,16 +180,31 @@ func (c *campaign) finish() {
 	c.mu.Unlock()
 }
 
-// New constructs the service.
+// jobOptions is the campaign's scheduling identity on the fleet coordinator.
+func (c *campaign) jobOptions() distrib.JobOptions {
+	opts := distrib.JobOptions{Priority: c.priority}
+	if c.tenant != nil {
+		opts.Tenant = c.tenant.cfg.Name
+		opts.Weight = c.tenant.cfg.Weight
+	}
+	return opts
+}
+
+// New constructs the service. When cfg.Journal is set, unfinished campaigns
+// found in the journal resume immediately (with their original ids, so
+// clients can re-attach to the same results URL).
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		cache:     cfg.Store,
 		fleet:     distrib.NewFleet(cfg.Distrib),
+		roster:    newTenantRoster(cfg.Tenants),
+		journal:   cfg.Journal,
 		campaigns: map[string]*campaign{},
 		specs:     map[string]mavbench.Spec{},
 		specRefs:  map[string]int{},
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if s.cache == nil {
 		s.cache = cfg.Cache
 	}
@@ -154,20 +213,131 @@ func New(cfg Config) *Server {
 		// grow the cache without limit.
 		s.cache = mavbench.NewBoundedMemoryCache(4096)
 	}
+	s.initMetrics()
+	if s.cache != nil {
+		s.cache = &countingStore{inner: s.cache, hits: s.mStoreHits, misses: s.mStoreMisses}
+	}
 	s.coord = &distrib.Coordinator{
 		Fleet:         s.fleet,
 		Store:         s.cache,
 		Config:        cfg.Distrib,
 		FallbackLocal: !cfg.DisableLocalFallback,
 		LocalWorkers:  cfg.Workers,
+		Hooks: distrib.Hooks{
+			BatchDone: func(_ string, _, _ int, elapsed time.Duration, err error) {
+				s.mDispatchDur.Observe(elapsed.Seconds())
+				outcome := "ok"
+				if err != nil {
+					outcome = "error"
+				}
+				s.mBatches.With(outcome).Inc()
+			},
+		},
 	}
+	s.recoverJournal()
 	return s
+}
+
+// initMetrics declares every metric family so /metrics exposes the full
+// catalog (with zero values) from the first scrape.
+func (s *Server) initMetrics() {
+	s.reg = metrics.NewRegistry()
+	s.mRequests = s.reg.CounterVec("mavbench_http_requests_total",
+		"HTTP requests served, by endpoint and status code.", "endpoint", "code")
+	s.mReqDur = s.reg.HistogramVec("mavbench_http_request_duration_seconds",
+		"HTTP request latency, by endpoint.", nil, "endpoint")
+	s.mDispatchDur = s.reg.Histogram("mavbench_dispatch_duration_seconds",
+		"Fleet batch dispatch wall time (request sent to stream drained).", nil)
+	s.mBatches = s.reg.CounterVec("mavbench_dispatch_batches_total",
+		"Fleet batch dispatches, by outcome (ok or error).", "outcome")
+	s.mTenantActive = s.reg.GaugeVec("mavbench_tenant_active_campaigns",
+		"Campaigns currently running, by tenant.", "tenant")
+	s.mTenantQueued = s.reg.GaugeVec("mavbench_tenant_queued_specs",
+		"Specs submitted but not yet completed, by tenant (queue depth).", "tenant")
+	s.mCampaigns = s.reg.CounterVec("mavbench_campaigns_total",
+		"Campaigns accepted, by tenant.", "tenant")
+	s.mRejected = s.reg.CounterVec("mavbench_submissions_rejected_total",
+		"Campaign submissions rejected at admission, by error code.", "code")
+	s.mStoreHits = s.reg.Counter("mavbench_store_hits_total",
+		"Result-store lookups served from the content-addressed store.")
+	s.mStoreMisses = s.reg.Counter("mavbench_store_misses_total",
+		"Result-store lookups that required simulation.")
+	s.reg.GaugeFunc("mavbench_workers_registered",
+		"Workers in the fleet registry.", func() float64 { return float64(len(s.fleet.Workers())) })
+	s.reg.GaugeFunc("mavbench_workers_healthy",
+		"Workers inside their heartbeat TTL and not marked down.", func() float64 { return float64(s.fleet.HealthyCount()) })
+	s.reg.GaugeFunc("mavbench_workers_dispatchable",
+		"Healthy workers accepting new batches (excludes draining).", func() float64 { return float64(s.fleet.DispatchableCount()) })
+	for _, name := range s.roster.names() {
+		s.mTenantActive.With(name).Set(0)
+		s.mTenantQueued.With(name).Set(0)
+	}
+}
+
+// recoverJournal resumes every unfinished journaled campaign.
+func (s *Server) recoverJournal() {
+	if s.journal == nil {
+		return
+	}
+	recovered, err := s.journal.Recover()
+	if err != nil {
+		s.logf("journal recovery failed: %v", err)
+		return
+	}
+	for _, rc := range recovered {
+		s.resume(rc)
+		s.logf("journal: resumed campaign %s (tenant %q, %d/%d specs remaining)",
+			rc.ID, rc.Tenant, rc.Remaining(), len(rc.Specs))
+	}
+}
+
+// resume rebuilds one recovered campaign and restarts it. All specs re-submit
+// through the normal path: completed ones are served by the content-addressed
+// store, and determinism makes the rest bit-identical to an uninterrupted
+// run, so the merged results match exactly.
+func (s *Server) resume(rc RecoveredCampaign) {
+	var tn *tenant
+	if rc.Tenant != "" {
+		tn = s.roster.byName[rc.Tenant]
+	}
+	if tn == nil {
+		tn = s.roster.open // nil under a tenanted roster that dropped the tenant
+	}
+	c := &campaign{id: rc.ID, specs: rc.Specs, tenant: tn, priority: rc.Priority, updated: make(chan struct{})}
+	if tn != nil {
+		// Recovery bypasses admission: an acknowledged campaign must resume
+		// even if the roster has since tightened.
+		tn.reserve(len(rc.Specs))
+		s.updateTenantGauges(tn)
+	}
+	s.index(c)
+	s.startCampaign(c)
 }
 
 // Fleet returns the server's worker registry (for status and tests).
 func (s *Server) Fleet() *distrib.Fleet { return s.fleet }
 
-// Handler returns the service's HTTP handler (the /v1 API).
+// Metrics returns the server's metric registry (for tests and embedding).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Close cancels every running campaign and closes the journal's file
+// handles (journal files for unfinished campaigns remain on disk — that is
+// the point: a successor server resumes them). Safe to call once.
+func (s *Server) Close() error {
+	s.baseCancel()
+	if s.journal != nil {
+		return s.journal.Close()
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Handler returns the service's HTTP handler (the /v1 API plus /metrics).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
@@ -180,13 +350,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
 	mux.HandleFunc("GET /v1/workers", s.handleWorkerList)
 	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
+	mux.HandleFunc("POST /v1/workers/{id}/drain", s.handleWorkerDrain)
 	mux.HandleFunc("DELETE /v1/workers/{id}", s.handleWorkerDeregister)
-	return jsonErrors(mux)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	return s.withRequestMeta(jsonErrors(mux))
 }
 
 // submitRequest is the POST /v1/campaigns body.
 type submitRequest struct {
 	Specs []mavbench.Spec `json:"specs"`
+	// Priority biases the campaign's fair-share dispatch weight on a fleet
+	// (each level doubles it); clamped to the tenant's max_priority.
+	Priority int `json:"priority,omitempty"`
 }
 
 // submitResponse acknowledges a submission.
@@ -195,6 +370,8 @@ type submitResponse struct {
 	Count      int      `json:"count"`
 	SpecHashes []string `json:"spec_hashes"`
 	ResultsURL string   `json:"results_url"`
+	Tenant     string   `json:"tenant,omitempty"`
+	Priority   int      `json:"priority,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -226,35 +403,101 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		hashes[i] = spec.Hash()
 	}
 
-	c := &campaign{id: newID(), specs: req.Specs, updated: make(chan struct{})}
-	s.mu.Lock()
-	s.campaigns[c.id] = c
-	s.order = append(s.order, c.id)
-	for i, spec := range req.Specs {
-		s.specs[hashes[i]] = spec.Canonical()
-		s.specRefs[hashes[i]]++
+	tn, aerr := s.roster.authenticate(r.Header.Get("X-API-Key"))
+	if aerr == nil {
+		aerr = tn.admit(len(req.Specs), time.Now())
 	}
-	s.evictLocked()
-	s.mu.Unlock()
+	if aerr != nil {
+		s.mRejected.With(aerr.code).Inc()
+		admissionError(w, aerr)
+		return
+	}
 
-	// Execute in the background; the request context must not cancel the
-	// campaign (clients collect results from the streaming endpoint). With
-	// healthy fleet workers registered the campaign is sharded across them;
-	// otherwise it runs in-process.
-	stream := s.runStream(req.Specs)
-	go func() {
-		for res := range stream {
-			c.append(res)
+	c := &campaign{
+		id: newID(), specs: req.Specs,
+		tenant: tn, priority: tn.clampPriority(req.Priority),
+		updated: make(chan struct{}),
+	}
+	if s.journal != nil {
+		// Journal before acknowledging: an acked campaign survives a crash.
+		if err := s.journal.Begin(c.id, tn.cfg.Name, c.priority, req.Specs); err != nil {
+			tn.campaignDone(len(req.Specs)) // roll the reservation back
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("journaling campaign: %w", err))
+			return
 		}
-		c.finish()
-	}()
+	}
+	s.mCampaigns.With(tn.cfg.Name).Inc()
+	s.updateTenantGauges(tn)
+	s.index(c)
+	s.startCampaign(c)
 
 	writeJSON(w, http.StatusAccepted, submitResponse{
 		ID:         c.id,
 		Count:      len(req.Specs),
 		SpecHashes: hashes,
 		ResultsURL: "/v1/campaigns/" + c.id + "/results",
+		Tenant:     tn.cfg.Name,
+		Priority:   c.priority,
 	})
+}
+
+// index publishes the campaign in the id and spec-hash indexes.
+func (s *Server) index(c *campaign) {
+	s.mu.Lock()
+	s.campaigns[c.id] = c
+	s.order = append(s.order, c.id)
+	for _, spec := range c.specs {
+		hash := spec.Hash()
+		s.specs[hash] = spec.Canonical()
+		s.specRefs[hash]++
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+// startCampaign executes the campaign in the background — sharded across the
+// fleet when dispatchable workers exist, in-process otherwise — journaling
+// each completion and releasing tenant quota as results land. The request
+// context must not cancel the campaign (clients collect results from the
+// streaming endpoint); only Server.Close does, and a campaign interrupted
+// that way keeps its journal so a successor server resumes it.
+func (s *Server) startCampaign(c *campaign) {
+	stream := s.runStream(c.specs, c.jobOptions())
+	go func() {
+		n := 0
+		for res := range stream {
+			c.append(res)
+			n++
+			if s.journal != nil {
+				if err := s.journal.MarkDone(c.id, res.Index); err != nil {
+					s.logf("journal: %v", err)
+				}
+			}
+			if c.tenant != nil {
+				c.tenant.specDone()
+				s.updateTenantGauges(c.tenant)
+			}
+		}
+		c.finish()
+		if s.journal != nil && n == len(c.specs) {
+			// Every spec produced a result (possibly a failed one): the
+			// campaign is complete and needs no recovery. A short count means
+			// cancellation (shutdown) — keep the journal for the successor.
+			if err := s.journal.Finish(c.id); err != nil {
+				s.logf("journal: %v", err)
+			}
+		}
+		if c.tenant != nil {
+			c.tenant.campaignDone(len(c.specs) - n)
+			s.updateTenantGauges(c.tenant)
+		}
+	}()
+}
+
+func (s *Server) updateTenantGauges(t *tenant) {
+	active, queued := t.snapshot()
+	s.mTenantActive.With(t.cfg.Name).Set(float64(active))
+	s.mTenantQueued.With(t.cfg.Name).Set(float64(queued))
 }
 
 // statusResponse is the GET /v1/campaigns/{id} body.
@@ -264,6 +507,8 @@ type statusResponse struct {
 	Completed int    `json:"completed"`
 	Failed    int    `json:"failed"`
 	Done      bool   `json:"done"`
+	Tenant    string `json:"tenant,omitempty"`
+	Priority  int    `json:"priority,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -279,9 +524,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			failed++
 		}
 	}
-	writeJSON(w, http.StatusOK, statusResponse{
+	resp := statusResponse{
 		ID: c.id, Count: len(c.specs), Completed: len(results), Failed: failed, Done: done,
-	})
+		Priority: c.priority,
+	}
+	if c.tenant != nil {
+		resp.Tenant = c.tenant.cfg.Name
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
@@ -411,18 +661,19 @@ func (s *Server) evictLocked() {
 	}
 }
 
-// runStream starts executing specs — sharded across the fleet when healthy
-// workers are registered, in-process otherwise — and returns the merged
-// completion-order result stream.
-func (s *Server) runStream(specs []mavbench.Spec) <-chan mavbench.Result {
-	if s.fleet.HealthyCount() > 0 {
-		return s.coord.Stream(context.Background(), specs)
+// runStream starts executing specs — sharded across the fleet when
+// dispatchable workers are registered, in-process otherwise — and returns
+// the merged completion-order result stream. Execution runs under the
+// server's base context, so Server.Close (not any request) cancels it.
+func (s *Server) runStream(specs []mavbench.Spec, opts distrib.JobOptions) <-chan mavbench.Result {
+	if s.fleet.DispatchableCount() > 0 {
+		return s.coord.StreamJob(s.baseCtx, specs, opts)
 	}
 	eng := mavbench.NewCampaign(specs...).SetWorkers(s.cfg.Workers)
 	if s.cache != nil {
 		eng.SetStore(s.cache)
 	}
-	return eng.Stream(context.Background())
+	return eng.Stream(s.baseCtx)
 }
 
 // handleRun is the synchronous batch-run endpoint (POST /v1/run): the body
@@ -530,6 +781,23 @@ func (s *Server) handleWorkerHeartbeat(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
+// handleWorkerDrain gracefully removes a worker from dispatch: its in-flight
+// batch finishes (and its results count), but no new batch reaches it until
+// it re-registers. The worker's heartbeats keep it visible in /v1/workers as
+// draining.
+func (s *Server) handleWorkerDrain(w http.ResponseWriter, r *http.Request) {
+	if !s.fleetAuthorized(w, r) {
+		return
+	}
+	id := r.PathValue("id")
+	if !s.fleet.Drain(id) {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown worker %q", id))
+		return
+	}
+	s.logf("fleet: worker %s draining", id)
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true, "draining": true})
+}
+
 func (s *Server) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) {
 	if !s.fleetAuthorized(w, r) {
 		return
@@ -542,19 +810,145 @@ func (s *Server) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) 
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-// errorResponse is the uniform error body.
+// errorResponse is the uniform error body. Code and RetryAfterS are set on
+// admission rejections (tenant auth, quotas, rate limits) so clients can
+// branch without parsing prose.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error       string  `json:"error"`
+	Code        string  `json:"code,omitempty"`
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
+// admissionError writes a typed 403/429 rejection; rate limits also carry a
+// Retry-After header (seconds, rounded up, at least 1).
+func admissionError(w http.ResponseWriter, aerr *admitError) {
+	resp := errorResponse{Error: aerr.msg, Code: aerr.code}
+	if aerr.retryAfter > 0 {
+		resp.RetryAfterS = aerr.retryAfter.Seconds()
+		secs := int(aerr.retryAfter.Seconds() + 0.999)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, aerr.status, resp)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// countingStore wraps the result store with hit/miss counters for /metrics.
+type countingStore struct {
+	inner        mavbench.ResultStore
+	hits, misses *metrics.Counter
+}
+
+func (cs *countingStore) Get(hash string) (mavbench.Result, bool) {
+	res, ok := cs.inner.Get(hash)
+	if ok {
+		cs.hits.Inc()
+	} else {
+		cs.misses.Inc()
+	}
+	return res, ok
+}
+
+func (cs *countingStore) Put(hash string, res mavbench.Result) { cs.inner.Put(hash, res) }
+
+// requestIDKey carries the request id through handler contexts.
+type requestIDKey struct{}
+
+// RequestID returns the request's id (assigned or propagated by the server's
+// middleware), or "" outside a server request.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// withRequestMeta assigns every request an id (propagating a client-sent
+// X-Request-Id), echoes it on the response, records the per-endpoint metrics
+// and emits one structured log line — the observability envelope around the
+// whole API surface.
+func (s *Server) withRequestMeta(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = newID()
+		}
+		w.Header().Set("X-Request-Id", rid)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid)))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		endpoint := endpointName(r.URL.Path)
+		s.mRequests.With(endpoint, strconv.Itoa(status)).Inc()
+		s.mReqDur.With(endpoint).Observe(elapsed.Seconds())
+		s.logf("http: %s %s %d %s rid=%s", r.Method, r.URL.Path, status, elapsed.Round(time.Millisecond), rid)
+	})
+}
+
+// endpointName buckets a request path into a bounded label set (path
+// parameters collapse, unknown paths share one bucket — labels must not have
+// unbounded cardinality).
+func endpointName(path string) string {
+	switch {
+	case path == "/v1/campaigns":
+		return "campaigns"
+	case strings.HasPrefix(path, "/v1/campaigns/") && strings.HasSuffix(path, "/results"):
+		return "campaign_results"
+	case strings.HasPrefix(path, "/v1/campaigns/"):
+		return "campaign_status"
+	case path == "/v1/run":
+		return "run"
+	case path == "/v1/workloads":
+		return "workloads"
+	case path == "/v1/scenarios":
+		return "scenarios"
+	case strings.HasPrefix(path, "/v1/specs/"):
+		return "specs"
+	case path == "/v1/workers":
+		return "workers"
+	case strings.HasSuffix(path, "/heartbeat"):
+		return "worker_heartbeat"
+	case strings.HasSuffix(path, "/drain"):
+		return "worker_drain"
+	case strings.HasPrefix(path, "/v1/workers/"):
+		return "worker"
+	case path == "/metrics":
+		return "metrics"
+	}
+	return "other"
+}
+
+// statusWriter records the response status for metrics and logs, forwarding
+// Flush so the streaming endpoints keep streaming.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // jsonErrors wraps a handler so the plain-text 404/405 bodies the ServeMux
@@ -579,7 +973,8 @@ type jsonErrorWriter struct {
 func (w *jsonErrorWriter) WriteHeader(status int) {
 	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
 		w.ResponseWriter.Header().Get("Content-Type") != "application/json" &&
-		w.ResponseWriter.Header().Get("Content-Type") != "application/x-ndjson" {
+		w.ResponseWriter.Header().Get("Content-Type") != "application/x-ndjson" &&
+		!strings.HasPrefix(w.ResponseWriter.Header().Get("Content-Type"), "text/plain; version=") {
 		w.intercepted = true
 		h := w.ResponseWriter.Header()
 		h.Del("Content-Length")

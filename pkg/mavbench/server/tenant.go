@@ -1,0 +1,258 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+)
+
+// TenantConfig declares one tenant of a multi-tenant mavbenchd: its identity
+// (name + API key) and the limits that keep it from crowding out everyone
+// else. Zero-valued limits mean unlimited.
+type TenantConfig struct {
+	// Name labels the tenant in logs, metrics and fleet scheduling.
+	Name string `json:"name"`
+	// APIKey authenticates the tenant: clients send it as the X-API-Key
+	// header on POST /v1/campaigns.
+	APIKey string `json:"api_key"`
+	// MaxActiveCampaigns caps how many of the tenant's campaigns may run
+	// concurrently (0 = unlimited). Exceeding it returns 429
+	// "quota_exceeded".
+	MaxActiveCampaigns int `json:"max_active_campaigns,omitempty"`
+	// MaxQueuedSpecs caps the tenant's total backlog: the sum of
+	// not-yet-completed specs across its active campaigns (0 = unlimited).
+	MaxQueuedSpecs int `json:"max_queued_specs,omitempty"`
+	// RatePerSec bounds campaign submissions per second, token-bucket style
+	// (0 = unlimited). Exceeding it returns 429 "rate_limited" with a
+	// Retry-After header.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the token bucket's capacity (how many submissions may arrive
+	// back-to-back before the rate applies; default 1 when RatePerSec > 0).
+	Burst int `json:"burst,omitempty"`
+	// Weight is the tenant's fair-share weight against other tenants'
+	// campaigns on a fleet coordinator (<= 0 = 1). See distrib.JobOptions.
+	Weight float64 `json:"weight,omitempty"`
+	// MaxPriority caps the priority a tenant may request on submission
+	// (0 = priority requests are clamped to 0). See distrib.JobOptions.
+	MaxPriority int `json:"max_priority,omitempty"`
+}
+
+// LoadTenants reads a tenant roster from a JSON file: either a bare array of
+// TenantConfig or an object {"tenants": [...]}.
+func LoadTenants(path string) ([]TenantConfig, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading tenants file: %w", err)
+	}
+	var wrapped struct {
+		Tenants []TenantConfig `json:"tenants"`
+	}
+	if err := json.Unmarshal(buf, &wrapped); err == nil && len(wrapped.Tenants) > 0 {
+		return validateTenants(wrapped.Tenants, path)
+	}
+	var plain []TenantConfig
+	if err := json.Unmarshal(buf, &plain); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w (want a JSON array of tenants or {\"tenants\": [...]})", path, err)
+	}
+	return validateTenants(plain, path)
+}
+
+func validateTenants(ts []TenantConfig, path string) ([]TenantConfig, error) {
+	names := map[string]bool{}
+	keys := map[string]bool{}
+	for i, tc := range ts {
+		if tc.Name == "" {
+			return nil, fmt.Errorf("%s: tenant %d has no name", path, i)
+		}
+		if tc.APIKey == "" {
+			return nil, fmt.Errorf("%s: tenant %q has no api_key", path, tc.Name)
+		}
+		if names[tc.Name] {
+			return nil, fmt.Errorf("%s: duplicate tenant name %q", path, tc.Name)
+		}
+		if keys[tc.APIKey] {
+			return nil, fmt.Errorf("%s: tenant %q reuses another tenant's api_key", path, tc.Name)
+		}
+		names[tc.Name] = true
+		keys[tc.APIKey] = true
+	}
+	return ts, nil
+}
+
+// tenant is the server-side state of one tenant: its config plus live quota
+// accounting and the submission-rate token bucket.
+type tenant struct {
+	cfg TenantConfig
+
+	mu      sync.Mutex
+	active  int     // running (not yet finished) campaigns
+	queued  int     // not-yet-completed specs across active campaigns
+	tokens  float64 // rate-limit bucket fill
+	lastRef time.Time
+}
+
+// admitError is a typed admission rejection: the HTTP status, the machine-
+// readable code, and (for rate limits) how long until a retry could succeed.
+type admitError struct {
+	status     int
+	code       string
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *admitError) Error() string { return e.msg }
+
+// admit runs every admission check for one campaign submission of nspecs
+// specs and, on success, reserves the tenant's quota (active+1,
+// queued+nspecs). Checks run in a fixed order — rate limit first, then
+// concurrency, then backlog — under one lock so concurrent submissions
+// cannot both squeeze through the same last quota slot.
+func (t *tenant) admit(nspecs int, now time.Time) *admitError {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.RatePerSec > 0 {
+		burst := t.cfg.Burst
+		if burst <= 0 {
+			burst = 1
+		}
+		if t.lastRef.IsZero() {
+			t.tokens = float64(burst)
+		} else {
+			t.tokens = math.Min(float64(burst), t.tokens+now.Sub(t.lastRef).Seconds()*t.cfg.RatePerSec)
+		}
+		t.lastRef = now
+		if t.tokens < 1 {
+			wait := time.Duration((1 - t.tokens) / t.cfg.RatePerSec * float64(time.Second))
+			return &admitError{
+				status: 429, code: "rate_limited", retryAfter: wait,
+				msg: fmt.Sprintf("tenant %q exceeded its submission rate (%.3g/s): retry in %.1fs", t.cfg.Name, t.cfg.RatePerSec, wait.Seconds()),
+			}
+		}
+		t.tokens--
+	}
+	if t.cfg.MaxActiveCampaigns > 0 && t.active >= t.cfg.MaxActiveCampaigns {
+		return &admitError{
+			status: 429, code: "quota_exceeded",
+			msg: fmt.Sprintf("tenant %q already has %d active campaigns (quota %d): wait for one to finish", t.cfg.Name, t.active, t.cfg.MaxActiveCampaigns),
+		}
+	}
+	if t.cfg.MaxQueuedSpecs > 0 && t.queued+nspecs > t.cfg.MaxQueuedSpecs {
+		return &admitError{
+			status: 429, code: "quota_exceeded",
+			msg: fmt.Sprintf("tenant %q would have %d queued specs (quota %d): submit smaller campaigns or wait", t.cfg.Name, t.queued+nspecs, t.cfg.MaxQueuedSpecs),
+		}
+	}
+	t.active++
+	t.queued += nspecs
+	return nil
+}
+
+// reserve takes quota without any limit checks — the recovery path: journaled
+// campaigns survived a restart and must resume even if the tenant's roster
+// has since tightened.
+func (t *tenant) reserve(nspecs int) {
+	t.mu.Lock()
+	t.active++
+	t.queued += nspecs
+	t.mu.Unlock()
+}
+
+// specDone releases one spec of backlog quota.
+func (t *tenant) specDone() {
+	t.mu.Lock()
+	if t.queued > 0 {
+		t.queued--
+	}
+	t.mu.Unlock()
+}
+
+// campaignDone releases the campaign's concurrency slot and whatever backlog
+// its unfinished specs still held (a canceled campaign finishes with fewer
+// results than specs).
+func (t *tenant) campaignDone(unfinished int) {
+	t.mu.Lock()
+	if t.active > 0 {
+		t.active--
+	}
+	t.queued -= unfinished
+	if t.queued < 0 {
+		t.queued = 0
+	}
+	t.mu.Unlock()
+}
+
+// snapshot returns the live accounting (for metrics and tests).
+func (t *tenant) snapshot() (active, queued int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active, t.queued
+}
+
+// clampPriority bounds a requested priority to the tenant's ceiling.
+func (t *tenant) clampPriority(p int) int {
+	if p < 0 {
+		p = 0
+	}
+	if p > t.cfg.MaxPriority {
+		p = t.cfg.MaxPriority
+	}
+	return p
+}
+
+// tenantRoster maps API keys to tenants. With no tenants configured the
+// roster is open: every request maps to the built-in "default" tenant with
+// no limits (and an unlimited priority ceiling, preserving single-user
+// behavior).
+type tenantRoster struct {
+	byKey  map[string]*tenant
+	byName map[string]*tenant
+	open   *tenant // non-nil = unauthenticated single-tenant mode
+}
+
+func newTenantRoster(cfgs []TenantConfig) *tenantRoster {
+	r := &tenantRoster{byKey: map[string]*tenant{}, byName: map[string]*tenant{}}
+	if len(cfgs) == 0 {
+		r.open = &tenant{cfg: TenantConfig{Name: "default", MaxPriority: 8}}
+		r.byName["default"] = r.open
+		return r
+	}
+	for _, tc := range cfgs {
+		t := &tenant{cfg: tc}
+		r.byKey[tc.APIKey] = t
+		r.byName[tc.Name] = t
+	}
+	return r
+}
+
+// authenticate resolves the API key to a tenant; a nil tenant comes with the
+// admission error to return.
+func (r *tenantRoster) authenticate(apiKey string) (*tenant, *admitError) {
+	if r.open != nil {
+		return r.open, nil
+	}
+	if apiKey == "" {
+		return nil, &admitError{
+			status: 403, code: "missing_api_key",
+			msg: "this server requires tenant authentication: send your API key as the X-API-Key header",
+		}
+	}
+	if t, ok := r.byKey[apiKey]; ok {
+		return t, nil
+	}
+	return nil, &admitError{
+		status: 403, code: "unknown_api_key",
+		msg: "unknown API key (keys are issued in the server's tenants file)",
+	}
+}
+
+// names returns every tenant name (for pre-registering metric series).
+func (r *tenantRoster) names() []string {
+	out := make([]string, 0, len(r.byName))
+	for name := range r.byName {
+		out = append(out, name)
+	}
+	return out
+}
