@@ -37,6 +37,7 @@ import (
 
 	"mavbench/pkg/mavbench"
 	"mavbench/pkg/mavbench/distrib"
+	"mavbench/pkg/mavbench/resultdb"
 	"mavbench/pkg/mavbench/server"
 )
 
@@ -45,7 +46,10 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel runs per campaign (0 = one per CPU)")
 	noCache := flag.Bool("no-cache", false, "disable the content-addressed result store")
 	storeDir := flag.String("store-dir", "", "persist results in a disk-backed content-addressed store at this directory (share it across a fleet)")
-	storeMaxMB := flag.Int64("store-max-mb", 0, "LRU size bound for -store-dir, in MiB (0 = unbounded)")
+	storeMaxMB := flag.Int64("store-max-mb", 0, "LRU size bound for -store-dir, in MiB (0 = unbounded; disk backend only)")
+	storeBackend := flag.String("store-backend", "disk", `store layout for -store-dir: "disk" (one file per hash) or "segment" (compacting NDJSON segments; enables GET /v1/results — see docs/STORE.md)`)
+	worldCacheMB := flag.Int64("world-cache-mb", 256, "in-memory world cache bound, in MiB (0 disables world caching)")
+	worldCacheDir := flag.String("world-cache-dir", "", "spill built worlds to this directory so they survive restarts (optional)")
 	workerMode := flag.Bool("worker", false, "run as a fleet worker: register with the -join coordinator and heartbeat")
 	join := flag.String("join", "", "coordinator base URL to join (requires -worker)")
 	advertise := flag.String("advertise", "", "URL the coordinator should dispatch to (default http://127.0.0.1:<port of -addr>)")
@@ -65,6 +69,18 @@ func main() {
 	}
 	if *storeMaxMB > 0 && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "mavbenchd: -store-max-mb requires -store-dir")
+		os.Exit(2)
+	}
+	if *storeBackend != "disk" && *storeBackend != "segment" {
+		fmt.Fprintf(os.Stderr, "mavbenchd: -store-backend must be \"disk\" or \"segment\", got %q\n", *storeBackend)
+		os.Exit(2)
+	}
+	if *storeBackend == "segment" && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "mavbenchd: -store-backend segment requires -store-dir")
+		os.Exit(2)
+	}
+	if *storeBackend == "segment" && *storeMaxMB > 0 {
+		fmt.Fprintln(os.Stderr, "mavbenchd: -store-max-mb applies to the disk backend only (the segment store reclaims space by compaction)")
 		os.Exit(2)
 	}
 
@@ -91,16 +107,36 @@ func main() {
 		storeDesc = "off"
 	}
 	if *storeDir != "" {
-		var opts []mavbench.DiskStoreOption
-		if *storeMaxMB > 0 {
-			opts = append(opts, mavbench.WithMaxBytes(*storeMaxMB<<20))
+		switch *storeBackend {
+		case "segment":
+			store, err := resultdb.Open(*storeDir)
+			if err != nil {
+				log.Fatalf("mavbenchd: %v", err)
+			}
+			defer store.Close()
+			cfg.Store = store
+			storeDesc = "segment:" + *storeDir
+		default:
+			var opts []mavbench.DiskStoreOption
+			if *storeMaxMB > 0 {
+				opts = append(opts, mavbench.WithMaxBytes(*storeMaxMB<<20))
+			}
+			store, err := mavbench.NewDiskStore(*storeDir, opts...)
+			if err != nil {
+				log.Fatalf("mavbenchd: %v", err)
+			}
+			cfg.Store = store
+			storeDesc = "disk:" + *storeDir
 		}
-		store, err := mavbench.NewDiskStore(*storeDir, opts...)
-		if err != nil {
-			log.Fatalf("mavbenchd: %v", err)
+	}
+	if *worldCacheMB <= 0 {
+		cfg.DisableWorldCache = true
+	} else if *worldCacheMB != 256 || *worldCacheDir != "" {
+		wcOpts := []mavbench.WorldCacheOption{mavbench.WithWorldCacheMaxBytes(*worldCacheMB << 20)}
+		if *worldCacheDir != "" {
+			wcOpts = append(wcOpts, mavbench.WithWorldCacheDir(*worldCacheDir))
 		}
-		cfg.Store = store
-		storeDesc = "disk:" + *storeDir
+		cfg.WorldCache = mavbench.NewWorldCache(wcOpts...)
 	}
 
 	srv := server.New(cfg)

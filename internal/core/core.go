@@ -387,7 +387,15 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 }
 
 // Run executes one benchmark run described by p.
-func Run(p Params) (Result, error) {
+func Run(p Params) (Result, error) { return RunWithCache(p, nil) }
+
+// RunWithCache executes one benchmark run, provisioning the world through wc
+// when non-nil: the world for p's WorldHash is built once and every
+// subsequent run with the same world identity receives a deep clone, so a
+// compute-axis sweep pays world construction a single time. A nil cache
+// builds the world directly — results are bit-identical either way (the
+// clone reproduces obstacle, patrol and RNG state exactly; see env.Clone).
+func RunWithCache(p Params, wc *env.WorldCache) (Result, error) {
 	p = p.Normalize()
 	if err := p.Validate(); err != nil {
 		return Result{}, err
@@ -396,7 +404,15 @@ func Run(p Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	world, start, err := w.World(p)
+	var world *env.World
+	var start geom.Vec3
+	if wc != nil {
+		world, start, err = wc.GetOrBuild(p.WorldHash(), func() (*env.World, geom.Vec3, error) {
+			return w.World(p)
+		})
+	} else {
+		world, start, err = w.World(p)
+	}
 	if err != nil {
 		return Result{}, fmt.Errorf("core: building world for %s: %w", p.Workload, err)
 	}

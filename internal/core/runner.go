@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"mavbench/internal/compute"
+	"mavbench/internal/env"
 )
 
 // Runner is the parallel experiment-execution engine behind every MAVBench
@@ -33,6 +34,10 @@ type Runner struct {
 	// Workers bounds the number of concurrently executing runs.
 	// Values <= 0 select runtime.GOMAXPROCS(0).
 	Workers int
+	// WorldCache, when non-nil, provisions each run's world through the
+	// cache (build once per world-hash, clone per run) — see RunWithCache.
+	// Nil builds every world from scratch; results are identical either way.
+	WorldCache *env.WorldCache
 }
 
 // workers resolves the configured pool size.
@@ -166,7 +171,7 @@ func (r Runner) RunAll(ctx context.Context, runs []Params) ([]Result, error) {
 	// Panics inside Run are recovered by the pool (runTask) and land in
 	// errs[i] like any other failure.
 	errs := r.parallelErrs(ctx, len(runs), func(i int) error {
-		res, runErr := Run(runs[i])
+		res, runErr := RunWithCache(runs[i], r.WorldCache)
 		if runErr != nil {
 			return fmt.Errorf("core: run %d (%s, %d cores @ %.1f GHz): %w",
 				i, runs[i].Workload, runs[i].Cores, runs[i].FreqGHz, runErr)

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The combined spec hash (pkg/mavbench Spec.Hash) addresses a whole run. For
+// the world cache that address is too fine: a compute-axis sweep varies
+// cores, frequency and kernels while flying the exact same world, and every
+// cell would miss. WorldHash and ComputeHash split the run's identity along
+// that boundary:
+//
+//   - WorldHash covers exactly the normalized fields world construction
+//     reads — workload, seed, environment/scenario selection, difficulty,
+//     scenario knobs and world scale. Two specs with equal WorldHash build
+//     byte-identical worlds (every Workload.World implementation consumes
+//     only these fields; see the workload package).
+//   - ComputeHash covers the rest: the operating point, kernels, resolution
+//     policy, noise, offload, mission bound and trace collection.
+//
+// Neither hash feeds the combined Spec.Hash, which stays byte-stable — the
+// existing result stores and golden traces are unaffected by this split.
+
+// WorldHash returns the content address of the run's world: a hex SHA-256
+// over the world-affecting normalized fields. It keys the world cache.
+func (p Params) WorldHash() string {
+	c := p.Normalize()
+	var b strings.Builder
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fmt.Fprintf(&b, "workload=%s\n", c.Workload)
+	fmt.Fprintf(&b, "seed=%d\n", c.Seed)
+	fmt.Fprintf(&b, "environment=%s\n", c.Environment)
+	fmt.Fprintf(&b, "scenario=%s\n", c.Scenario)
+	fmt.Fprintf(&b, "difficulty=%s\n", f(c.Difficulty))
+	if !c.ScenarioKnobs.IsZero() {
+		fmt.Fprintf(&b, "scenario_knobs=%s,%s,%s,%s,%s\n",
+			f(c.ScenarioKnobs.ObstacleDensity), f(c.ScenarioKnobs.ClutterScale),
+			f(c.ScenarioKnobs.DynamicCount), f(c.ScenarioKnobs.DynamicSpeed),
+			f(c.ScenarioKnobs.ExtentScale))
+	} else {
+		b.WriteString("scenario_knobs=\n")
+	}
+	fmt.Fprintf(&b, "world_scale=%s\n", f(c.WorldScale))
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// ComputeHash returns the content address of the run's compute-side knobs:
+// everything Spec.Hash covers that WorldHash does not. Specs that share a
+// WorldHash and differ at all differ in ComputeHash.
+func (p Params) ComputeHash() string {
+	c := p.Normalize()
+	var b strings.Builder
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fmt.Fprintf(&b, "cores=%d\n", c.Cores)
+	fmt.Fprintf(&b, "freq_ghz=%s\n", f(c.FreqGHz))
+	fmt.Fprintf(&b, "detector=%s\n", c.Detector)
+	fmt.Fprintf(&b, "localizer=%s\n", c.Localizer)
+	fmt.Fprintf(&b, "planner=%s\n", c.Planner)
+	fmt.Fprintf(&b, "octomap_resolution=%s\n", f(c.OctomapResolution))
+	fmt.Fprintf(&b, "dynamic_resolution=%t\n", c.DynamicResolution)
+	fmt.Fprintf(&b, "coarse_resolution=%s\n", f(c.CoarseResolution))
+	fmt.Fprintf(&b, "depth_noise_std=%s\n", f(c.DepthNoiseStd))
+	fmt.Fprintf(&b, "cloud_offload=%t\n", c.CloudOffload)
+	fmt.Fprintf(&b, "cloud_link=%s,%s,%s,%s\n",
+		c.CloudLink.Name, f(c.CloudLink.BandwidthMbps),
+		f(float64(c.CloudLink.RTT)), f(c.CloudLink.DropProbability))
+	fmt.Fprintf(&b, "max_mission_time_s=%s\n", f(c.MaxMissionTimeS))
+	fmt.Fprintf(&b, "keep_traces=%t\n", c.KeepTraces)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"sort"
 
 	"mavbench/internal/geom"
@@ -84,16 +85,124 @@ type World struct {
 	nextID    int
 	rng       *rand.Rand
 	elapsed   float64
+
+	// seed and src make the world cloneable: the RNG stream is a pure
+	// function of the seed, so a fresh source fast-forwarded by src.draws
+	// steps is in exactly the generator's state (see Clone).
+	seed int64
+	src  *countingSource
+}
+
+// countingSource wraps math/rand's seeded source and counts draws. It
+// deliberately implements only rand.Source (not Source64): every rand.Rand
+// method then funnels through Int63, so the draw count alone pins the source
+// state and replaying that many Int63 calls reproduces it bit-exactly.
+type countingSource struct {
+	src   rand.Source
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.draws = 0
+	c.src.Seed(seed)
+}
+
+// replaySource returns a counting source seeded with seed and fast-forwarded
+// by draws steps — the exact state of a source that has served draws calls.
+func replaySource(seed int64, draws uint64) *countingSource {
+	src := rand.NewSource(seed)
+	for i := uint64(0); i < draws; i++ {
+		src.Int63()
+	}
+	return &countingSource{src: src, draws: draws}
+}
+
+// clone returns an independent source in exactly c's state. The fast path
+// copies the underlying generator's state structurally; reseeding plus
+// replaying every draw (the slow path) is reserved for source types whose
+// state cannot be copied. Both paths produce bit-identical future sequences
+// — the fast path is what makes serving a cached world much cheaper than
+// building one, since math/rand's seeding alone costs more than most world
+// constructions.
+func (c *countingSource) clone(seed int64) *countingSource {
+	if copied, ok := cloneRandSource(c.src); ok {
+		return &countingSource{src: copied, draws: c.draws}
+	}
+	return replaySource(seed, c.draws)
+}
+
+// cloneRandSource structurally deep-copies a rand.Source backed by a pointer
+// to a plain struct (math/rand's seeded source is: two ints and a fixed
+// array, no references). Copying the whole struct value carries the exact
+// generator state without touching unexported fields individually, which
+// reflection forbids. Any panic or unexpected shape reports !ok and the
+// caller falls back to replaying.
+func cloneRandSource(src rand.Source) (out rand.Source, ok bool) {
+	defer func() {
+		if recover() != nil {
+			out, ok = nil, false
+		}
+	}()
+	v := reflect.ValueOf(src)
+	if v.Kind() != reflect.Pointer || v.IsNil() || v.Elem().Kind() != reflect.Struct {
+		return nil, false
+	}
+	n := reflect.New(v.Elem().Type())
+	n.Elem().Set(v.Elem())
+	out, ok = n.Interface().(rand.Source)
+	return out, ok
 }
 
 // New creates an empty world with the given bounds.
 func New(name string, bounds geom.AABB, seed int64) *World {
+	src := &countingSource{src: rand.NewSource(seed)}
 	return &World{
 		Name:    name,
 		Bounds:  bounds,
 		GroundZ: bounds.Min.Z,
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rand.New(src),
+		seed:    seed,
+		src:     src,
 	}
+}
+
+// Seed returns the seed the world's RNG was created with.
+func (w *World) Seed() int64 { return w.seed }
+
+// Clone returns a deep copy of the world whose future behaviour is
+// bit-identical to the original's: obstacles (including patrol phase),
+// elapsed time and the RNG state (replayed from the seed by draw count) are
+// all reproduced exactly. Clones share nothing, so a cached world can hand a
+// clone to every run while staying pristine itself.
+func (w *World) Clone() *World {
+	nw := &World{
+		Name:    w.Name,
+		Bounds:  w.Bounds,
+		GroundZ: w.GroundZ,
+		nextID:  w.nextID,
+		elapsed: w.elapsed,
+		seed:    w.seed,
+	}
+	if w.src != nil {
+		nw.src = w.src.clone(w.seed)
+	} else {
+		nw.src = replaySource(w.seed, 0)
+	}
+	nw.rng = rand.New(nw.src)
+	// One block for all obstacle copies: a clone allocates O(1) times, not
+	// once per obstacle.
+	copies := make([]Obstacle, len(w.obstacles))
+	nw.obstacles = make([]*Obstacle, len(w.obstacles))
+	for i, o := range w.obstacles {
+		copies[i] = *o // value copy carries Box, patrol state and phase
+		nw.obstacles[i] = &copies[i]
+	}
+	return nw
 }
 
 // AddObstacle inserts a static obstacle and returns it.

@@ -43,11 +43,12 @@ const (
 	kindGauge
 	kindHistogram
 	kindGaugeFunc
+	kindCounterFunc
 )
 
 func (k familyKind) String() string {
 	switch k {
-	case kindCounter:
+	case kindCounter, kindCounterFunc:
 		return "counter"
 	case kindHistogram:
 		return "histogram"
@@ -211,6 +212,14 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.fn = fn
 }
 
+// CounterFunc registers a counter whose value is computed at scrape time —
+// for sources that already maintain their own monotonic counters (cache hit
+// totals, compaction counts) and should not be double-tracked.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindCounterFunc, nil, nil)
+	f.fn = fn
+}
+
 // Histogram registers (or fetches) an unlabeled histogram. A nil buckets
 // slice selects DefBuckets. Buckets must be sorted ascending.
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
@@ -283,7 +292,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 func (f *family) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
-	if f.kind == kindGaugeFunc {
+	if f.kind == kindGaugeFunc || f.kind == kindCounterFunc {
 		fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.fn()))
 		return
 	}

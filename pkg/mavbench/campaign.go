@@ -54,6 +54,9 @@ type Campaign struct {
 	specs   []Spec
 	workers int
 	cache   ResultStore
+
+	worldCache    *WorldCache
+	worldCacheSet bool
 }
 
 // NewCampaign builds a campaign over the given specs. Specs are not
@@ -82,6 +85,25 @@ func (c *Campaign) SetStore(store ResultStore) *Campaign {
 //
 // Deprecated: use SetStore.
 func (c *Campaign) SetCache(cache ResultStore) *Campaign { return c.SetStore(cache) }
+
+// SetWorldCache overrides the campaign's world cache: worlds are built once
+// per world-hash and every run receives a deep clone (results stay
+// bit-identical; see WorldCache). Campaigns that never call this share the
+// process-wide DefaultWorldCache; passing nil disables world caching for
+// this campaign entirely. Returns the campaign for chaining.
+func (c *Campaign) SetWorldCache(wc *WorldCache) *Campaign {
+	c.worldCache = wc
+	c.worldCacheSet = true
+	return c
+}
+
+// effectiveWorldCache resolves the campaign's world cache (nil = disabled).
+func (c *Campaign) effectiveWorldCache() *WorldCache {
+	if c.worldCacheSet {
+		return c.worldCache
+	}
+	return DefaultWorldCache()
+}
 
 // Len returns the number of specs in the campaign.
 func (c *Campaign) Len() int { return len(c.specs) }
@@ -146,7 +168,7 @@ func (c *Campaign) runOne(index int, spec Spec) (res Result) {
 			return hit
 		}
 	}
-	runRes, err := core.Run(spec.params())
+	runRes, err := core.RunWithCache(spec.params(), c.effectiveWorldCache().engine())
 	if err != nil {
 		res.err = err
 		res.Error = err.Error()

@@ -33,7 +33,8 @@ type DiskStore struct {
 	byKey           map[string]*list.Element // hash -> entry; front of lru = most recent
 	lru             *list.List               // of *diskEntry
 	total           int64
-	evictsSinceScan int // evictions since the last directory rescan
+	evictsSinceScan int       // evictions since the last directory rescan
+	lastTouch       time.Time // high-water mark for strictly-increasing mtimes
 }
 
 type diskEntry struct {
@@ -121,7 +122,15 @@ func scanStoreDir(dir string) []scannedEntry {
 		}
 		out = append(out, scannedEntry{&diskEntry{hash: hash, size: info.Size()}, info.ModTime()})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].mtime.Before(out[j].mtime) })
+	// Filesystems with coarse timestamp granularity can report equal mtimes
+	// for files touched close together; the hash tie-break keeps the recency
+	// order (and therefore eviction order) deterministic regardless.
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].mtime.Equal(out[j].mtime) {
+			return out[i].mtime.Before(out[j].mtime)
+		}
+		return out[i].entry.hash < out[j].entry.hash
+	})
 	return out
 }
 
@@ -216,7 +225,11 @@ func (s *DiskStore) SizeBytes() int64 {
 
 // touch records hash as the most recently used entry of the given size and
 // refreshes the file mtime so other processes sharing the directory see the
-// recency too.
+// recency too. The applied mtime is forced strictly past every mtime this
+// process has applied before: filesystems that coarsen timestamps (1s on
+// some, 2s on FAT) would otherwise hand identical mtimes to entries touched
+// in quick succession and make the recovered eviction order depend on
+// directory enumeration.
 func (s *DiskStore) touch(hash string, size int64) {
 	s.mu.Lock()
 	if el, ok := s.byKey[hash]; ok {
@@ -228,8 +241,12 @@ func (s *DiskStore) touch(hash string, size int64) {
 		s.byKey[hash] = s.lru.PushFront(&diskEntry{hash: hash, size: size})
 		s.total += size
 	}
-	s.mu.Unlock()
 	now := time.Now()
+	if !now.After(s.lastTouch) {
+		now = s.lastTouch.Add(time.Microsecond)
+	}
+	s.lastTouch = now
+	s.mu.Unlock()
 	_ = os.Chtimes(s.path(hash), now, now)
 }
 
@@ -245,6 +262,20 @@ func (s *DiskStore) drop(hash string, removeFile bool) {
 	if removeFile {
 		_ = os.Remove(s.path(hash))
 	}
+}
+
+// Hashes returns every hash currently present in the store directory,
+// oldest-recency first (mtime order, hash tie-break) — the order a migration
+// should replay them in so last-write-wins destinations end up with the same
+// recency ranking. The directory is rescanned, so entries written by other
+// fleet processes sharing it are included.
+func (s *DiskStore) Hashes() []string {
+	entries := scanStoreDir(s.dir)
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.entry.hash
+	}
+	return out
 }
 
 // rescanEvery bounds how many evictions run off the in-memory index before

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -198,5 +199,91 @@ func TestDiskStoreLRUEviction(t *testing.T) {
 	}
 	if _, ok := s.Get(storeHash(5)); ok {
 		t.Error("stale entry outlived a recently used one")
+	}
+}
+
+// TestDiskStoreEvictionOrderDeterministic pins recency recovery against
+// coarse filesystem timestamps. When several entries carry the *same* mtime
+// (a 1s- or 2s-granularity filesystem stamping files written close together),
+// the recovered order — and therefore which entries an LRU bound evicts —
+// must not depend on directory enumeration: equal mtimes tie-break by hash.
+// And a live touch must always move a file strictly past the last mtime this
+// process applied, so ties stop accumulating in the first place.
+func TestDiskStoreEvictionOrderDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entrySize int64
+	var hashes []string
+	for seed := 1; seed <= 5; seed++ {
+		h := storeHash(seed)
+		hashes = append(hashes, h)
+		s.Put(h, storeResult(seed))
+	}
+	entrySize = s.SizeBytes() / 5
+
+	// Simulate the coarse filesystem: every entry lands on one timestamp.
+	stamp := time.Now().Add(-time.Hour)
+	for _, h := range hashes {
+		if err := os.Chtimes(filepath.Join(dir, h+".json"), stamp, stamp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := append([]string(nil), hashes...)
+	sort.Strings(want)
+
+	// Recovery is deterministic: every fresh scan of the tied directory
+	// yields the same oldest-first order, the hash order.
+	for trial := 0; trial < 3; trial++ {
+		s2, err := NewDiskStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s2.Hashes()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: recovered %d hashes, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: recovered order %v, want hash-tie-broken %v", trial, got, want)
+			}
+		}
+	}
+
+	// Eviction off the recovered order is equally deterministic: under
+	// pressure the hash-smallest of the tied entries go first.
+	s3, err := NewDiskStore(dir, WithMaxBytes(entrySize*3+entrySize/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3.Put(storeHash(6), storeResult(6))
+	for _, h := range want[:3] {
+		if _, ok := s3.Get(h); ok {
+			t.Errorf("tie-broken-oldest entry %s survived eviction", h)
+		}
+	}
+	for _, h := range append(want[3:5:5], storeHash(6)) {
+		if _, ok := s3.Get(h); !ok {
+			t.Errorf("tie-broken-newest entry %s was evicted", h)
+		}
+	}
+
+	// The monotonic clamp: even when the clock has not advanced past the
+	// last applied mtime, a touch still moves the file strictly forward.
+	future := time.Now().Add(time.Hour)
+	s3.mu.Lock()
+	s3.lastTouch = future
+	s3.mu.Unlock()
+	if _, ok := s3.Get(storeHash(6)); !ok {
+		t.Fatal("entry 6 vanished")
+	}
+	info, err := os.Stat(filepath.Join(dir, storeHash(6)+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.ModTime().After(future) {
+		t.Errorf("touch applied mtime %v, want strictly after the %v high-water mark", info.ModTime(), future)
 	}
 }

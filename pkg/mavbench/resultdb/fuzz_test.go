@@ -1,0 +1,153 @@
+package resultdb
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mavbench/pkg/mavbench"
+)
+
+// FuzzSegmentOpen throws arbitrary bytes at the store as a pre-existing
+// segment file: Open must never fail or panic on segment *content* (only on
+// I/O errors), every record it does index must be retrievable, and the store
+// must stay fully writable afterwards — corruption is contained, not fatal.
+func FuzzSegmentOpen(f *testing.F) {
+	good, _ := json.Marshal(record{Hash: testHash(1), Result: testResult(1)})
+	f.Add([]byte{})
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("{not json at all"))
+	f.Add(append(append([]byte{}, good...), '\n'))
+	f.Add(append(append([]byte{}, good...), []byte("\n{\"hash\":\"zz/../..\",\"result\":{}}\n")...))
+	f.Add(good[:len(good)/2]) // torn tail
+	f.Fuzz(func(t *testing.T, seg []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), seg, 0o644); err != nil {
+			t.Skip()
+		}
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open on arbitrary segment content errored: %v", err)
+		}
+		defer s.Close()
+		st := s.Stats()
+		if st.Records != s.Len() {
+			t.Fatalf("Stats.Records %d != Len %d", st.Records, s.Len())
+		}
+		// Everything indexed must read back.
+		for _, res := range s.Query(Query{}) {
+			_ = res
+		}
+		if got := len(s.Query(Query{})); got != st.Records {
+			t.Fatalf("Query returned %d of %d indexed records", got, st.Records)
+		}
+		// The store stays writable and the write survives reopening.
+		s.Put(testHash(7), testResult(7))
+		if _, ok := s.Get(testHash(7)); !ok {
+			t.Fatal("Put after corrupt Open did not stick")
+		}
+		s.Close()
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("reopen after heal: %v", err)
+		}
+		defer s2.Close()
+		if _, ok := s2.Get(testHash(7)); !ok {
+			t.Fatal("healed write lost on reopen")
+		}
+	})
+}
+
+// FuzzStoreOps replays an arbitrary operation sequence (put/overwrite/get/
+// compact/reopen) against a model map and checks the store agrees after
+// every step. ops bytes: low 2 bits select the op, high bits the key.
+func FuzzStoreOps(f *testing.F) {
+	f.Add([]byte{0, 4, 8, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0, 3, 0})
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3, 3, 2})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 64 {
+			t.Skip()
+		}
+		dir := t.TempDir()
+		s, err := Open(dir, WithSegmentTargetBytes(2048), WithAutoCompact(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { s.Close() }()
+		model := map[string]float64{} // hash -> expected MissionTimeS
+		version := 0.0
+		for _, op := range ops {
+			key := testHash(int(op >> 2))
+			switch op % 4 {
+			case 0, 1: // put / overwrite
+				version++
+				res := testResult(int(op >> 2))
+				res.Report.MissionTimeS = version
+				s.Put(key, res)
+				model[key] = version
+			case 2: // compact
+				if err := s.Compact(); err != nil {
+					t.Fatalf("Compact: %v", err)
+				}
+				if s.Stats().DeadBytes != 0 {
+					t.Fatal("dead bytes after Compact")
+				}
+			case 3: // reopen
+				s.Close()
+				s, err = Open(dir, WithSegmentTargetBytes(2048), WithAutoCompact(false))
+				if err != nil {
+					t.Fatalf("reopen: %v", err)
+				}
+			}
+			if s.Len() != len(model) {
+				t.Fatalf("Len %d != model %d after op %d", s.Len(), len(model), op)
+			}
+			for h, want := range model {
+				got, ok := s.Get(h)
+				if !ok || got.Report.MissionTimeS != want {
+					t.Fatalf("Get(%s): ok=%v MissionTimeS=%v, model %v", h, ok, got.Report.MissionTimeS, want)
+				}
+			}
+		}
+	})
+}
+
+// FuzzQuery checks that arbitrary range filters never panic and always agree
+// with a direct scan of the stored results.
+func FuzzQuery(f *testing.F) {
+	f.Add(0.0, 1.0, true, true, uint8(3))
+	f.Add(-5.0, 5.0, false, true, uint8(0))
+	f.Fuzz(func(t *testing.T, lo, hi float64, hasMin, hasMax bool, limit uint8) {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var all []mavbench.Result
+		for i := 0; i < 12; i++ {
+			res := testResult(i)
+			res.Spec.Difficulty = float64(i) / 10
+			s.Put(testHash(i), res)
+			all = append(all, res)
+		}
+		q := Query{
+			Difficulty: Range{Min: lo, Max: hi, HasMin: hasMin, HasMax: hasMax},
+			Limit:      int(limit),
+		}
+		got := s.Query(q)
+		want := 0
+		for _, res := range all {
+			if (!hasMin || res.Spec.Difficulty >= lo) && (!hasMax || res.Spec.Difficulty <= hi) {
+				want++
+			}
+		}
+		if q.Limit > 0 && want > q.Limit {
+			want = q.Limit
+		}
+		if len(got) != want {
+			t.Fatalf("Query returned %d results, direct scan says %d (q=%+v)", len(got), want, q)
+		}
+	})
+}

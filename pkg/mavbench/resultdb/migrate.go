@@ -1,0 +1,42 @@
+package resultdb
+
+import (
+	"fmt"
+
+	"mavbench/pkg/mavbench"
+)
+
+// MigrateStats summarizes a migration run.
+type MigrateStats struct {
+	// Migrated counts records copied into the destination.
+	Migrated int `json:"migrated"`
+	// Skipped counts source entries that could not be read back (corrupt or
+	// concurrently evicted) — they are left behind, not fatal.
+	Skipped int `json:"skipped"`
+}
+
+// Migrate copies every record of a one-file-per-hash DiskStore into a
+// segment store, oldest recency first so the destination's append order
+// preserves the source's recency ranking. The source is not modified; a
+// record already present in the destination is overwritten (last-write-wins)
+// so re-running a partially completed migration converges. Returns an error
+// only if the destination rejects writes outright (store closed).
+func Migrate(src *mavbench.DiskStore, dst *Store) (MigrateStats, error) {
+	var st MigrateStats
+	if src == nil || dst == nil {
+		return st, fmt.Errorf("resultdb: migrate requires both a source and a destination store")
+	}
+	for _, hash := range src.Hashes() {
+		res, ok := src.Get(hash)
+		if !ok {
+			st.Skipped++
+			continue
+		}
+		dst.Put(hash, res)
+		if _, ok := dst.Get(hash); !ok {
+			return st, fmt.Errorf("resultdb: migrated record %s did not round-trip; destination store unwritable?", hash)
+		}
+		st.Migrated++
+	}
+	return st, nil
+}

@@ -1,0 +1,124 @@
+package resultdb
+
+import (
+	"sort"
+
+	"mavbench/pkg/mavbench"
+)
+
+// Range is an optional closed interval filter. The zero value matches
+// everything; set HasMin/HasMax to activate each bound.
+type Range struct {
+	Min    float64 `json:"min,omitempty"`
+	Max    float64 `json:"max,omitempty"`
+	HasMin bool    `json:"has_min,omitempty"`
+	HasMax bool    `json:"has_max,omitempty"`
+}
+
+// AtLeast returns a Range with only a lower bound.
+func AtLeast(v float64) Range { return Range{Min: v, HasMin: true} }
+
+// AtMost returns a Range with only an upper bound.
+func AtMost(v float64) Range { return Range{Max: v, HasMax: true} }
+
+// Between returns a closed interval Range.
+func Between(lo, hi float64) Range {
+	return Range{Min: lo, Max: hi, HasMin: true, HasMax: true}
+}
+
+// contains reports whether v satisfies the active bounds.
+func (r Range) contains(v float64) bool {
+	if r.HasMin && v < r.Min {
+		return false
+	}
+	if r.HasMax && v > r.Max {
+		return false
+	}
+	return true
+}
+
+// Query selects stored results by the spec axes the paper's analyses slice
+// on. Zero-valued fields match everything.
+type Query struct {
+	// Workload filters on the exact canonical workload name.
+	Workload string `json:"workload,omitempty"`
+	// Scenario filters on the exact scenario name.
+	Scenario string `json:"scenario,omitempty"`
+	// Difficulty, Cores and FreqGHz filter on the compute/difficulty axes.
+	Difficulty Range `json:"difficulty,omitempty"`
+	Cores      Range `json:"cores,omitempty"`
+	FreqGHz    Range `json:"freq_ghz,omitempty"`
+	// OnlyOK drops failed runs.
+	OnlyOK bool `json:"only_ok,omitempty"`
+	// Limit caps the number of returned results (0 = no cap). The cap is
+	// applied after sorting, so a limited query returns a stable prefix.
+	Limit int `json:"limit,omitempty"`
+}
+
+// matches applies the metadata filters (everything except record retrieval).
+func (q Query) matches(m recMeta) bool {
+	if q.Workload != "" && m.workload != q.Workload {
+		return false
+	}
+	if q.Scenario != "" && m.scenario != q.Scenario {
+		return false
+	}
+	if !q.Difficulty.contains(m.difficulty) {
+		return false
+	}
+	if !q.Cores.contains(float64(m.cores)) {
+		return false
+	}
+	if !q.FreqGHz.contains(m.freqGHz) {
+		return false
+	}
+	if q.OnlyOK && !m.ok {
+		return false
+	}
+	return true
+}
+
+// Query returns the stored results matching q, sorted by spec hash for
+// stable output. Filtering runs on the in-memory index; only matching
+// records are read from disk. Records that fail to read back are skipped —
+// the store's usual corruption tolerance.
+func (s *Store) Query(q Query) []mavbench.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var hashes []string
+	for h, loc := range s.index {
+		if q.matches(loc.meta) {
+			hashes = append(hashes, h)
+		}
+	}
+	sort.Strings(hashes)
+	if q.Limit > 0 && len(hashes) > q.Limit {
+		hashes = hashes[:q.Limit]
+	}
+	out := make([]mavbench.Result, 0, len(hashes))
+	for _, h := range hashes {
+		rec, err := s.readLocked(s.index[h])
+		if err != nil {
+			continue
+		}
+		out = append(out, rec.Result)
+	}
+	return out
+}
+
+// Count returns the number of live records matching q without reading any
+// record bodies.
+func (s *Store) Count(q Query) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, loc := range s.index {
+		if q.matches(loc.meta) {
+			n++
+		}
+	}
+	return n
+}

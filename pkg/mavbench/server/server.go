@@ -10,6 +10,7 @@
 //	GET  /v1/workloads                 registered workloads and valid knob values
 //	GET  /v1/scenarios                 the difficulty-graded scenario catalog
 //	GET  /v1/specs/{hash}              canonical spec for a known content address
+//	GET  /v1/results                   query the result store (segment backend only; see docs/STORE.md)
 //	POST /v1/workers                   register a fleet worker ({"url": ...})
 //	GET  /v1/workers                   fleet status
 //	POST /v1/workers/{id}/heartbeat    worker liveness
@@ -73,6 +74,14 @@ type Config struct {
 	Cache mavbench.ResultStore
 	// DisableCache turns the result store off entirely.
 	DisableCache bool
+	// WorldCache overrides the world cache campaigns run with; nil selects
+	// the process-wide mavbench.DefaultWorldCache, so fleet workers reuse
+	// built worlds across batches without configuration.
+	WorldCache *mavbench.WorldCache
+	// DisableWorldCache turns world caching off entirely (every run builds
+	// its world from scratch; results are identical, only slower on
+	// compute-axis sweeps).
+	DisableWorldCache bool
 	// MaxCampaignSpecs caps the number of specs accepted per submission
 	// (0 = default 1024).
 	MaxCampaignSpecs int
@@ -108,12 +117,14 @@ type Config struct {
 // Server is the mavbenchd HTTP service. Construct with New; it is safe for
 // concurrent use.
 type Server struct {
-	cfg     Config
-	cache   mavbench.ResultStore
-	fleet   *distrib.Fleet
-	coord   *distrib.Coordinator
-	roster  *tenantRoster
-	journal *Journal
+	cfg        Config
+	cache      mavbench.ResultStore
+	queryStore QueryStore // cfg.Store when it supports Query; nil otherwise
+	worldCache *mavbench.WorldCache
+	fleet      *distrib.Fleet
+	coord      *distrib.Coordinator
+	roster     *tenantRoster
+	journal    *Journal
 
 	baseCtx    context.Context // cancels every campaign on Close
 	baseCancel context.CancelFunc
@@ -213,6 +224,17 @@ func New(cfg Config) *Server {
 		// grow the cache without limit.
 		s.cache = mavbench.NewBoundedMemoryCache(4096)
 	}
+	// The query endpoint binds to the configured store before the counting
+	// wrapper: queries are analytics reads, not cache-effectiveness signals.
+	if qs, ok := s.cache.(QueryStore); ok {
+		s.queryStore = qs
+	}
+	if !cfg.DisableWorldCache {
+		s.worldCache = cfg.WorldCache
+		if s.worldCache == nil {
+			s.worldCache = mavbench.DefaultWorldCache()
+		}
+	}
 	s.initMetrics()
 	if s.cache != nil {
 		s.cache = &countingStore{inner: s.cache, hits: s.mStoreHits, misses: s.mStoreMisses}
@@ -262,6 +284,32 @@ func (s *Server) initMetrics() {
 		"Result-store lookups served from the content-addressed store.")
 	s.mStoreMisses = s.reg.Counter("mavbench_store_misses_total",
 		"Result-store lookups that required simulation.")
+	s.reg.CounterFunc("mavbench_worldcache_hits_total",
+		"World-cache lookups served without building (memory or disk spill).",
+		func() float64 { return float64(s.worldCacheStats().Hits) })
+	s.reg.CounterFunc("mavbench_worldcache_misses_total",
+		"World-cache lookups that built the world.",
+		func() float64 { return float64(s.worldCacheStats().Misses) })
+	s.reg.CounterFunc("mavbench_worldcache_evictions_total",
+		"Worlds evicted by the world cache's LRU size bound.",
+		func() float64 { return float64(s.worldCacheStats().Evictions) })
+	s.reg.GaugeFunc("mavbench_worldcache_entries",
+		"Worlds resident in the world cache.",
+		func() float64 { return float64(s.worldCacheStats().Entries) })
+	s.reg.GaugeFunc("mavbench_worldcache_bytes",
+		"Estimated in-memory footprint of the world cache.",
+		func() float64 { return float64(s.worldCacheStats().SizeBytes) })
+	if s.queryStore != nil {
+		s.reg.GaugeFunc("mavbench_store_segments",
+			"Segment files in the result store.",
+			func() float64 { return float64(s.queryStore.Stats().Segments) })
+		s.reg.GaugeFunc("mavbench_store_segment_bytes",
+			"Bytes held in result-store segments (live plus dead).",
+			func() float64 { st := s.queryStore.Stats(); return float64(st.LiveBytes + st.DeadBytes) })
+		s.reg.CounterFunc("mavbench_store_compactions_total",
+			"Result-store compaction runs completed.",
+			func() float64 { return float64(s.queryStore.Stats().Compactions) })
+	}
 	s.reg.GaugeFunc("mavbench_workers_registered",
 		"Workers in the fleet registry.", func() float64 { return float64(len(s.fleet.Workers())) })
 	s.reg.GaugeFunc("mavbench_workers_healthy",
@@ -347,6 +395,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v1/specs/{hash}", s.handleSpec)
+	mux.HandleFunc("GET /v1/results", s.handleQueryResults)
 	mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
 	mux.HandleFunc("GET /v1/workers", s.handleWorkerList)
 	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
@@ -669,7 +718,7 @@ func (s *Server) runStream(specs []mavbench.Spec, opts distrib.JobOptions) <-cha
 	if s.fleet.DispatchableCount() > 0 {
 		return s.coord.StreamJob(s.baseCtx, specs, opts)
 	}
-	eng := mavbench.NewCampaign(specs...).SetWorkers(s.cfg.Workers)
+	eng := mavbench.NewCampaign(specs...).SetWorkers(s.cfg.Workers).SetWorldCache(s.worldCache)
 	if s.cache != nil {
 		eng.SetStore(s.cache)
 	}
@@ -705,7 +754,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// Unlike POST /v1/campaigns, invalid specs are not rejected here: they
 	// surface as per-spec failed Results, exactly as the local engine
 	// reports them — the coordinator relays them verbatim.
-	eng := mavbench.NewCampaign(req.Specs...).SetWorkers(s.cfg.Workers)
+	eng := mavbench.NewCampaign(req.Specs...).SetWorkers(s.cfg.Workers).SetWorldCache(s.worldCache)
 	if s.cache != nil {
 		eng.SetStore(s.cache)
 	}
@@ -917,6 +966,8 @@ func endpointName(path string) string {
 		return "scenarios"
 	case strings.HasPrefix(path, "/v1/specs/"):
 		return "specs"
+	case path == "/v1/results":
+		return "results"
 	case path == "/v1/workers":
 		return "workers"
 	case strings.HasSuffix(path, "/heartbeat"):

@@ -334,6 +334,21 @@ func (s Spec) Hash() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// WorldHash returns the content address of the spec's world: a hex SHA-256
+// over the canonical world-affecting fields only (workload, seed,
+// environment/scenario, difficulty, scenario knobs, world scale). Specs that
+// differ only in compute-side knobs — operating point, kernels, resolutions,
+// noise, offload, mission bound, traces — share a WorldHash and fly
+// byte-identical worlds; the world cache is keyed by it. The combined Hash
+// is unaffected by this split and stays byte-stable.
+func (s Spec) WorldHash() string { return s.params().WorldHash() }
+
+// ComputeHash returns the content address of the spec's compute-side knobs:
+// everything Hash covers that WorldHash does not. Together the two hashes
+// factor a spec's identity along the world/compute boundary; a compute-axis
+// sweep holds WorldHash fixed while ComputeHash varies per cell.
+func (s Spec) ComputeHash() string { return s.params().ComputeHash() }
+
 // params converts the spec to the engine's parameter struct.
 func (s Spec) params() core.Params {
 	p := core.Params{
