@@ -86,6 +86,29 @@ type World struct {
 	rng       *rand.Rand
 	elapsed   float64
 
+	// idx is the lazily built ray-cast acceleration grid (see
+	// obstacle_index.go). Dropped on AddObstacle; never copied by Clone, so
+	// clones rebuild their own against their own obstacle copies.
+	idx *obstacleIndex
+
+	// version counts geometry changes (obstacles added, moved, or stepped).
+	// staticVersion counts only the non-Step changes (obstacles added or
+	// moved), so it is stable while only dynamic obstacles patrol. Sensors
+	// use the pair to detect which parts of the scene changed between
+	// captures.
+	version       uint64
+	staticVersion uint64
+
+	// Per-frame dynamic prefilter for CastDynamic: the moving obstacles
+	// within range of one cast origin. A depth frame casts ~2k rays from the
+	// same origin against the same obstacle positions, so the reachable
+	// subset is computed once per (version, origin, range) and reused.
+	dynNear    []*Obstacle
+	dynOrigin  geom.Vec3
+	dynRange   float64
+	dynVersion uint64
+	dynValid   bool
+
 	// seed and src make the world cloneable: the RNG stream is a pure
 	// function of the seed, so a fresh source fast-forwarded by src.draws
 	// steps is in exactly the generator's state (see Clone).
@@ -210,6 +233,9 @@ func (w *World) AddObstacle(kind ObstacleKind, box geom.AABB, label string) *Obs
 	o := &Obstacle{ID: w.nextID, Kind: kind, Box: box, Label: label}
 	w.nextID++
 	w.obstacles = append(w.obstacles, o)
+	w.idx = nil
+	w.version++
+	w.staticVersion++
 	return o
 }
 
@@ -223,7 +249,29 @@ func (w *World) AddDynamicObstacle(box geom.AABB, a, b geom.Vec3, speed float64,
 	return o
 }
 
-// Obstacles returns all obstacles (callers must not mutate the slice).
+// MoveObstacle repositions an obstacle's box and invalidates the ray-cast
+// index. Static obstacles are indexed for ray casting, so callers must
+// reposition them through this method (or re-add them) rather than writing
+// Box directly.
+func (w *World) MoveObstacle(o *Obstacle, box geom.AABB) {
+	o.Box = box
+	w.idx = nil
+	w.version++
+	w.staticVersion++
+}
+
+// Version returns a counter that increases whenever world geometry changes
+// (obstacles added, repositioned, or advanced by Step). Two calls observing
+// the same version are guaranteed to see identical geometry.
+func (w *World) Version() uint64 { return w.version }
+
+// StaticVersion is like Version but ignores Step: it only advances when
+// obstacles are added or explicitly repositioned. While it is stable, the
+// ground plane and every non-patrolling obstacle are guaranteed unchanged.
+func (w *World) StaticVersion() uint64 { return w.staticVersion }
+
+// Obstacles returns all obstacles (callers must not mutate the slice, nor
+// write a static obstacle's Box directly — see MoveObstacle).
 func (w *World) Obstacles() []*Obstacle { return w.obstacles }
 
 // ObstaclesOfKind returns all obstacles of the given kind.
@@ -267,6 +315,7 @@ func (w *World) Step(dt float64) {
 		}
 		target := o.PatrolA.Lerp(o.PatrolB, t)
 		o.Box = geom.BoxAt(target, o.Box.Size())
+		w.version++
 	}
 }
 
@@ -306,29 +355,81 @@ func (w *World) SegmentCollides(a, b geom.Vec3, radius float64) bool {
 // RayCast returns the distance from origin along dir (which need not be
 // normalized) to the first obstacle or ground hit, up to maxRange. The
 // boolean reports whether anything was hit within range.
+//
+// The cast is split into CastStatic (ground + non-moving obstacles) and
+// CastDynamic (patrolling obstacles) so sensors can cache the static phase
+// across frames while the MAV hovers. Each candidate hit distance is computed
+// by the same arithmetic either way and the overall result is their exact
+// minimum, so the split (and any caching of the static phase) is
+// bit-identical to a single pass.
 func (w *World) RayCast(origin, dir geom.Vec3, maxRange float64) (float64, bool) {
 	d := dir.Unit()
 	if d.IsZero() || maxRange <= 0 {
 		return 0, false
 	}
-	best := math.Inf(1)
-	ray := geom.Ray{Origin: origin, Dir: d}
-	for _, o := range w.obstacles {
-		if t, ok := ray.IntersectAABB(o.Box); ok && t < best {
-			best = t
-		}
+	best := w.CastStatic(origin, d, maxRange)
+	best = w.CastDynamic(origin, d, maxRange, best)
+	if best > maxRange {
+		return 0, false
 	}
-	// Ground plane.
+	return best, true
+}
+
+// CastStatic returns the exact distance along unit direction d to the nearest
+// ground-plane or static-obstacle hit, or +Inf when there is none. The result
+// is a pure function of the static scene (see StaticVersion); it may exceed
+// maxRange, which only bounds how far the acceleration grid must be walked.
+func (w *World) CastStatic(origin, d geom.Vec3, maxRange float64) float64 {
+	best := math.Inf(1)
+	// Ground plane first: the minimum over all hit candidates is
+	// order-independent, and seeding best with the ground hit lets the grid
+	// walk below terminate as soon as it passes the ground distance —
+	// downward rays are the common case for a flying depth camera.
 	if d.Z < 0 {
 		t := (w.GroundZ - origin.Z) / d.Z
 		if t >= 0 && t < best {
 			best = t
 		}
 	}
-	if best > maxRange {
-		return 0, false
+	if w.idx == nil {
+		w.idx = buildObstacleIndex(w.obstacles)
 	}
-	return best, true
+	return w.idx.castStatic(geom.Ray{Origin: origin, Dir: d}, maxRange, best)
+}
+
+// CastDynamic folds the moving obstacles into best and returns the updated
+// minimum hit distance. d must be a unit direction. Obstacles entirely
+// farther than maxRange from the origin are skipped: any hit of theirs has
+// t >= that distance > maxRange, and such a candidate never changes the
+// outcome of a cast bounded by maxRange (it is "no return" either way) —
+// so the prefilter is bit-identical to the full scan.
+func (w *World) CastDynamic(origin, d geom.Vec3, maxRange, best float64) float64 {
+	if w.idx == nil {
+		w.idx = buildObstacleIndex(w.obstacles)
+	}
+	rest := w.idx.rest
+	if len(rest) > 2 {
+		// rangeSlack keeps an obstacle whose distance lands within float
+		// error of the boundary; testing an extra obstacle is harmless.
+		const rangeSlack = 1e-6
+		if !(w.dynValid && w.dynVersion == w.version && w.dynOrigin == origin && w.dynRange == maxRange) {
+			w.dynNear = w.dynNear[:0]
+			for _, o := range rest {
+				if o.Box.DistanceTo(origin) <= maxRange+rangeSlack {
+					w.dynNear = append(w.dynNear, o)
+				}
+			}
+			w.dynOrigin, w.dynRange, w.dynVersion, w.dynValid = origin, maxRange, w.version, true
+		}
+		rest = w.dynNear
+	}
+	ray := geom.Ray{Origin: origin, Dir: d}
+	for _, o := range rest {
+		if t, ok := ray.IntersectAABB(o.Box); ok && t < best {
+			best = t
+		}
+	}
+	return best
 }
 
 // NearestObstacleDistance returns the distance from p to the closest obstacle

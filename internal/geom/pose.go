@@ -154,25 +154,64 @@ func (r Ray) At(t float64) Vec3 { return r.Origin.Add(r.Dir.Scale(t)) }
 // slab method. It returns the entry parameter and true when the ray
 // intersects the box with some t >= 0; the entry parameter is clamped to be
 // non-negative (origin inside the box yields 0).
+// The three slabs are unrolled (this is the single hottest call of the depth
+// camera's ray casting); each axis performs exactly the division, products
+// and comparisons of the generic slab loop, in the same order, so the
+// returned parameter is bit-identical to the loop form.
 func (r Ray) IntersectAABB(b AABB) (float64, bool) {
 	tmin := math.Inf(-1)
 	tmax := math.Inf(1)
 
-	o := [3]float64{r.Origin.X, r.Origin.Y, r.Origin.Z}
-	d := [3]float64{r.Dir.X, r.Dir.Y, r.Dir.Z}
-	lo := [3]float64{b.Min.X, b.Min.Y, b.Min.Z}
-	hi := [3]float64{b.Max.X, b.Max.Y, b.Max.Z}
-
-	for i := 0; i < 3; i++ {
-		if d[i] == 0 {
-			if o[i] < lo[i] || o[i] > hi[i] {
-				return 0, false
-			}
-			continue
+	if r.Dir.X == 0 {
+		if r.Origin.X < b.Min.X || r.Origin.X > b.Max.X {
+			return 0, false
 		}
-		inv := 1 / d[i]
-		t1 := (lo[i] - o[i]) * inv
-		t2 := (hi[i] - o[i]) * inv
+	} else {
+		inv := 1 / r.Dir.X
+		t1 := (b.Min.X - r.Origin.X) * inv
+		t2 := (b.Max.X - r.Origin.X) * inv
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		if t1 > tmin {
+			tmin = t1
+		}
+		if t2 < tmax {
+			tmax = t2
+		}
+		if tmin > tmax {
+			return 0, false
+		}
+	}
+	if r.Dir.Y == 0 {
+		if r.Origin.Y < b.Min.Y || r.Origin.Y > b.Max.Y {
+			return 0, false
+		}
+	} else {
+		inv := 1 / r.Dir.Y
+		t1 := (b.Min.Y - r.Origin.Y) * inv
+		t2 := (b.Max.Y - r.Origin.Y) * inv
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		if t1 > tmin {
+			tmin = t1
+		}
+		if t2 < tmax {
+			tmax = t2
+		}
+		if tmin > tmax {
+			return 0, false
+		}
+	}
+	if r.Dir.Z == 0 {
+		if r.Origin.Z < b.Min.Z || r.Origin.Z > b.Max.Z {
+			return 0, false
+		}
+	} else {
+		inv := 1 / r.Dir.Z
+		t1 := (b.Min.Z - r.Origin.Z) * inv
+		t2 := (b.Max.Z - r.Origin.Z) * inv
 		if t1 > t2 {
 			t1, t2 = t2, t1
 		}

@@ -84,6 +84,10 @@ func (d *DepthImage) MinDepth() (float64, bool) {
 // the ray-cast resolution; the full image is produced by bilinear upsampling
 // of the ray grid so that even large frames stay cheap to simulate while the
 // geometric content is preserved.
+//
+// A DepthCamera is owned by one simulator and is not safe for concurrent
+// use: Capture reuses an internal ray-grid scratch buffer, and Recycle feeds
+// finished frames' pixel buffers back to the next Capture.
 type DepthCamera struct {
 	Intrinsics CameraIntrinsics
 	// RaysX and RaysY set the ray-cast grid. Defaults (64x48) keep the
@@ -93,6 +97,61 @@ type DepthCamera struct {
 	// Noise, when non-nil, perturbs each depth sample (reliability case
 	// study).
 	Noise *DepthNoise
+
+	// grid is the ray-cast scratch buffer, reused across Captures.
+	grid []float64
+	// trig caches per-column azimuth cosines/sines. The ray directions only
+	// vary per column (azimuth) and per row (pitch), so the trig is evaluated
+	// once per column and row instead of once per ray — same calls, same
+	// arguments, bit-identical directions. The azimuth table depends only on
+	// (yaw, FOV, rx), so it survives across captures while the camera heading
+	// is unchanged (hovering, or translating without turning).
+	trig      []float64
+	trigYaw   float64
+	trigHF    float64
+	trigRx    int
+	trigValid bool
+	// pitchTrig caches per-row pitch cosines/sines. Pitch angles depend only
+	// on the vertical FOV and the ray-grid height — never on the pose — so the
+	// table is computed once and reused for every capture.
+	pitchTrig []float64
+	pitchVF   float64
+	pitchRy   int
+	// upsample coordinate tables: the bilinear sample position of each output
+	// column (resp. row) is a pure function of (Width, rx) (resp. (Height,
+	// ry)). Precomputing them hoists a divide and two conversions out of the
+	// per-pixel loop; the stored values are the exact ones the loop computed.
+	uIdx                 []int32
+	uFrac                []float64
+	vIdx                 []int32
+	vFrac                []float64
+	upW, upH, upRx, upRy int
+	// Capture cache: a noise-free capture is a pure function of the camera
+	// pose and the world geometry. When the MAV hovers (e.g. during planning
+	// stalls) successive captures repeat the same pose over an unchanged
+	// world, and the previous frame's pixels are reused verbatim instead of
+	// re-casting every ray. The cache is keyed on the world pointer, its
+	// geometry version and the exact pose, so any geometry change or motion
+	// invalidates it; with depth noise enabled it is bypassed entirely (a
+	// cached frame would skip the RNG draws and change the noise stream).
+	cacheWorld   *env.World
+	cacheVersion uint64
+	cachePose    geom.Pose
+	cacheData    []float64
+	// Static-phase cache: per-ray ground+static hit distances for the last
+	// pose, keyed on the world's StaticVersion. It stays valid while only
+	// dynamic obstacles move, so a hovering MAV in a world with patrolling
+	// traffic re-casts just the dynamic overlay each frame. Safe with noise
+	// enabled: the noise draw happens per final sample either way.
+	staticWorld   *env.World
+	staticVersion uint64
+	staticPose    geom.Pose
+	staticGrid    []float64
+	// free holds pixel buffers returned through Recycle, reused by the next
+	// Capture instead of allocating a fresh frame. Every element of a reused
+	// buffer is overwritten before the image is returned, so no depth values
+	// can leak between frames.
+	free [][]float64
 }
 
 // NewDepthCamera returns a camera with the default intrinsics and ray grid.
@@ -129,6 +188,13 @@ func (n *DepthNoise) Perturb(d float64) float64 {
 // front-facing RGB-D configuration of the benchmark.
 func (c *DepthCamera) Capture(w *env.World, pose geom.Pose, timestamp float64) *DepthImage {
 	in := c.Intrinsics
+	cacheable := c.Noise == nil || c.Noise.StdDevM <= 0
+	if cacheable && c.cacheData != nil && c.cacheWorld == w &&
+		c.cacheVersion == w.Version() && c.cachePose == pose {
+		img := &DepthImage{Width: in.Width, Height: in.Height, Data: c.pixelBuffer(in.Width * in.Height), Pose: pose, Timestamp: timestamp}
+		copy(img.Data, c.cacheData)
+		return img
+	}
 	rx, ry := c.RaysX, c.RaysY
 	if rx <= 1 {
 		rx = 64
@@ -136,42 +202,106 @@ func (c *DepthCamera) Capture(w *env.World, pose geom.Pose, timestamp float64) *
 	if ry <= 1 {
 		ry = 48
 	}
-	grid := make([]float64, rx*ry)
+	if cap(c.grid) < rx*ry {
+		c.grid = make([]float64, rx*ry)
+	}
+	grid := c.grid[:rx*ry]
 	hf := in.HorizontalFOV
 	vf := in.VerticalFOV()
-	for j := 0; j < ry; j++ {
-		pitch := vf * (float64(j)/float64(ry-1) - 0.5)
+	if cap(c.trig) < 2*rx {
+		c.trig = make([]float64, 2*rx)
+		c.trigValid = false
+	}
+	azCos, azSin := c.trig[:rx], c.trig[rx:2*rx]
+	if !c.trigValid || c.trigYaw != pose.Yaw || c.trigHF != hf || c.trigRx != rx {
 		for i := 0; i < rx; i++ {
 			az := hf * (float64(i)/float64(rx-1) - 0.5)
+			azCos[i] = math.Cos(pose.Yaw + az)
+			azSin[i] = math.Sin(pose.Yaw + az)
+		}
+		c.trigYaw, c.trigHF, c.trigRx, c.trigValid = pose.Yaw, hf, rx, true
+	}
+	if c.pitchRy != ry || c.pitchVF != vf || len(c.pitchTrig) != 2*ry {
+		if cap(c.pitchTrig) < 2*ry {
+			c.pitchTrig = make([]float64, 2*ry)
+		}
+		c.pitchTrig = c.pitchTrig[:2*ry]
+		for j := 0; j < ry; j++ {
+			pitch := vf * (float64(j)/float64(ry-1) - 0.5)
+			c.pitchTrig[2*j] = math.Cos(pitch)
+			c.pitchTrig[2*j+1] = math.Sin(pitch)
+		}
+		c.pitchVF, c.pitchRy = vf, ry
+	}
+	// Refresh the static-phase cache unless the pose and static scene are
+	// exactly those of the previous capture. Each ray's value is
+	// min(staticDist, dynamicDist) either way — the same candidates through
+	// the same arithmetic — so reusing the static phase is bit-identical to
+	// re-casting it (see World.RayCast).
+	refreshStatics := !(c.staticWorld == w && c.staticVersion == w.StaticVersion() && c.staticPose == pose) ||
+		len(c.staticGrid) != rx*ry
+	if cap(c.staticGrid) < rx*ry {
+		c.staticGrid = make([]float64, rx*ry)
+	}
+	sg := c.staticGrid[:rx*ry]
+	for j := 0; j < ry; j++ {
+		cosPitch, sinPitch := c.pitchTrig[2*j], c.pitchTrig[2*j+1]
+		for i := 0; i < rx; i++ {
 			dir := geom.Vec3{
-				X: math.Cos(pose.Yaw+az) * math.Cos(pitch),
-				Y: math.Sin(pose.Yaw+az) * math.Cos(pitch),
-				Z: -math.Sin(pitch),
+				X: azCos[i] * cosPitch,
+				Y: azSin[i] * cosPitch,
+				Z: -sinPitch,
 			}
-			dist, hit := w.RayCast(pose.Position, dir, in.MaxRange)
-			if !hit {
-				grid[j*rx+i] = math.Inf(1)
+			k := j*rx + i
+			d := dir.Unit()
+			if d.IsZero() {
+				grid[k] = math.Inf(1)
+				if refreshStatics {
+					sg[k] = math.Inf(1)
+				}
 				continue
 			}
-			grid[j*rx+i] = c.Noise.Perturb(dist)
+			if refreshStatics {
+				sg[k] = w.CastStatic(pose.Position, d, in.MaxRange)
+			}
+			dist := w.CastDynamic(pose.Position, d, in.MaxRange, sg[k])
+			if dist > in.MaxRange {
+				grid[k] = math.Inf(1)
+				continue
+			}
+			grid[k] = c.Noise.Perturb(dist)
 		}
 	}
+	c.staticWorld, c.staticVersion, c.staticPose = w, w.StaticVersion(), pose
 
-	img := &DepthImage{Width: in.Width, Height: in.Height, Data: make([]float64, in.Width*in.Height), Pose: pose, Timestamp: timestamp}
-	for v := 0; v < in.Height; v++ {
-		gj := float64(v) / float64(in.Height-1) * float64(ry-1)
-		j0 := int(gj)
-		if j0 >= ry-1 {
-			j0 = ry - 2
-		}
-		fj := gj - float64(j0)
+	if c.upW != in.Width || c.upH != in.Height || c.upRx != rx || c.upRy != ry {
+		c.uIdx, c.uFrac = append(c.uIdx[:0], make([]int32, in.Width)...), append(c.uFrac[:0], make([]float64, in.Width)...)
+		c.vIdx, c.vFrac = append(c.vIdx[:0], make([]int32, in.Height)...), append(c.vFrac[:0], make([]float64, in.Height)...)
 		for u := 0; u < in.Width; u++ {
 			gi := float64(u) / float64(in.Width-1) * float64(rx-1)
 			i0 := int(gi)
 			if i0 >= rx-1 {
 				i0 = rx - 2
 			}
-			fi := gi - float64(i0)
+			c.uIdx[u], c.uFrac[u] = int32(i0), gi-float64(i0)
+		}
+		for v := 0; v < in.Height; v++ {
+			gj := float64(v) / float64(in.Height-1) * float64(ry-1)
+			j0 := int(gj)
+			if j0 >= ry-1 {
+				j0 = ry - 2
+			}
+			c.vIdx[v], c.vFrac[v] = int32(j0), gj-float64(j0)
+		}
+		c.upW, c.upH, c.upRx, c.upRy = in.Width, in.Height, rx, ry
+	}
+	img := &DepthImage{Width: in.Width, Height: in.Height, Data: c.pixelBuffer(in.Width * in.Height), Pose: pose, Timestamp: timestamp}
+	for v := 0; v < in.Height; v++ {
+		j0 := int(c.vIdx[v])
+		fj := c.vFrac[v]
+		for u := 0; u < in.Width; u++ {
+			i0 := int(c.uIdx[u])
+			fi := c.uFrac[u]
 			d00 := grid[j0*rx+i0]
 			d01 := grid[j0*rx+i0+1]
 			d10 := grid[(j0+1)*rx+i0]
@@ -186,7 +316,44 @@ func (c *DepthCamera) Capture(w *env.World, pose geom.Pose, timestamp float64) *
 			img.Data[v*in.Width+u] = d
 		}
 	}
+	if cacheable {
+		if cap(c.cacheData) < len(img.Data) {
+			c.cacheData = make([]float64, len(img.Data))
+		}
+		c.cacheData = c.cacheData[:len(img.Data)]
+		copy(c.cacheData, img.Data)
+		c.cacheWorld, c.cacheVersion, c.cachePose = w, w.Version(), pose
+	}
 	return img
+}
+
+// pixelBuffer returns a pixel buffer of length n, reusing a recycled frame's
+// buffer when one of sufficient capacity is available.
+func (c *DepthCamera) pixelBuffer(n int) []float64 {
+	for i := len(c.free) - 1; i >= 0; i-- {
+		buf := c.free[i]
+		c.free[i] = nil
+		c.free = c.free[:i]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// Recycle hands a finished frame's pixel buffer back to the camera for reuse
+// by a later Capture. Callers must not touch the image (or any alias of its
+// Data) afterwards. Recycling is optional: frames that are dropped without
+// being recycled are simply collected by the GC.
+func (c *DepthCamera) Recycle(img *DepthImage) {
+	if img == nil || img.Data == nil {
+		return
+	}
+	// Bound the free list so a burst of unrecycled frames can't grow it.
+	if len(c.free) < 4 {
+		c.free = append(c.free, img.Data)
+	}
+	img.Data = nil
 }
 
 func nearest(fi, fj float64, d00, d01, d10, d11 float64) float64 {

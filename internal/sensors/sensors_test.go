@@ -177,14 +177,14 @@ func TestRGBCameraRespectsFrustumAndOcclusion(t *testing.T) {
 	}
 
 	// Too far away.
-	person.Box = geom.BoxAt(geom.V3(200, 0, 0.9), geom.V3(0.5, 0.5, 1.8))
+	w.MoveObstacle(person, geom.BoxAt(geom.V3(200, 0, 0.9), geom.V3(0.5, 0.5, 1.8)))
 	f = cam.Capture(w, geom.NewPose(geom.V3(0, 0, 1.5), 0), 0)
 	if len(f.Objects) != 0 {
 		t.Error("person beyond range should not be visible")
 	}
 
 	// Occluded by a wall.
-	person.Box = geom.BoxAt(geom.V3(12, 0, 0.9), geom.V3(0.5, 0.5, 1.8))
+	w.MoveObstacle(person, geom.BoxAt(geom.V3(12, 0, 0.9), geom.V3(0.5, 0.5, 1.8)))
 	w.AddObstacle(env.KindStructure, geom.NewAABB(geom.V3(6, -5, 0), geom.V3(7, 5, 10)), "wall")
 	f = cam.Capture(w, geom.NewPose(geom.V3(0, 0, 1.5), 0), 0)
 	if len(f.Objects) != 0 {
