@@ -1,12 +1,19 @@
 // Command mavbench-benchdiff compares fresh kernel-benchmark JSON against
 // the committed BENCH_*.json baselines and fails when any entry regressed
-// beyond the threshold — the CI benchmark-regression gate.
+// beyond the threshold — the CI benchmark-regression gate. Repeatable -floor
+// flags additionally impose absolute minimum-performance targets on the
+// fresh run ("suite:entry:metric>=min", or "<=" for lower-is-better): the
+// gate then fails not only on regression but also when a named suite misses
+// its floor.
 //
 //	mavbench-benchdiff -threshold 0.30 BENCH_octomap.json /tmp/bench/BENCH_octomap.json
 //	mavbench-benchdiff -baseline-dir . -fresh-dir /tmp/bench octomap planning sweep
+//	mavbench-benchdiff -baseline-dir . -fresh-dir /tmp/bench \
+//	    -floor 'sweep:golden_campaign/workers=1:runs_per_sec>=10' sweep
 //
-// Exit status: 0 when every matched entry is within the threshold, 1 when
-// anything regressed (or a baseline entry disappeared), 2 on usage errors.
+// Exit status: 0 when every matched entry is within the threshold and every
+// floor holds, 1 when anything regressed (or a baseline entry disappeared,
+// or a floor is missed), 2 on usage errors.
 package main
 
 import (
@@ -18,14 +25,40 @@ import (
 	"mavbench/internal/benchcmp"
 )
 
+// floorFlags collects repeated -floor values, parsed eagerly so a typo fails
+// at flag-parse time (exit 2), not after the suites have been compared.
+type floorFlags []benchcmp.Floor
+
+func (f *floorFlags) String() string {
+	out := ""
+	for i, fl := range *f {
+		if i > 0 {
+			out += ","
+		}
+		out += fl.String()
+	}
+	return out
+}
+
+func (f *floorFlags) Set(s string) error {
+	fl, err := benchcmp.ParseFloor(s)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, fl)
+	return nil
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.30, "allowed slowdown before failing (0.30 = +30% ns/op)")
 	baselineDir := flag.String("baseline-dir", "", "directory of committed BENCH_<suite>.json files (suite-name mode)")
 	freshDir := flag.String("fresh-dir", "", "directory of freshly generated BENCH_<suite>.json files (suite-name mode)")
+	var floors floorFlags
+	flag.Var(&floors, "floor", "absolute target on the fresh run, 'suite:entry:metric>=min' (repeatable; '<=' for lower-is-better)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage:\n  mavbench-benchdiff [-threshold 0.30] <baseline.json> <fresh.json>\n"+
-				"  mavbench-benchdiff [-threshold 0.30] -baseline-dir DIR -fresh-dir DIR <suite>...\n\nflags:\n")
+			"usage:\n  mavbench-benchdiff [-threshold 0.30] [-floor SPEC]... <baseline.json> <fresh.json>\n"+
+				"  mavbench-benchdiff [-threshold 0.30] [-floor SPEC]... -baseline-dir DIR -fresh-dir DIR <suite>...\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,7 +83,7 @@ func main() {
 
 	failed := false
 	for _, pair := range pairs {
-		if !diff(pair[0], pair[1], *threshold) {
+		if !diff(pair[0], pair[1], *threshold, floors) {
 			failed = true
 		}
 	}
@@ -61,7 +94,7 @@ func main() {
 
 // diff compares one baseline/fresh pair, prints the per-entry report, and
 // returns false when the pair fails the gate.
-func diff(baselinePath, freshPath string, threshold float64) bool {
+func diff(baselinePath, freshPath string, threshold float64, floors []benchcmp.Floor) bool {
 	baseline, err := benchcmp.Load(baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mavbench-benchdiff:", err)
@@ -101,10 +134,16 @@ func diff(baselinePath, freshPath string, threshold float64) bool {
 	for _, d := range speedupRegs {
 		fmt.Printf("  SPEEDUP REGRESSION: %s fell from %.2fx to %.2fx vs legacy\n", d.Name, d.OldSpeedup, d.NewSpeedup)
 	}
-	ok := len(regs) == 0 && len(speedupRegs) == 0 && len(c.Missing) == 0
+	// Floors are absolute targets on the fresh run: the suite fails not only
+	// by regressing from the baseline but by missing a minimum-improvement bar.
+	violations := benchcmp.CheckFloors(fresh, floors)
+	for _, v := range violations {
+		fmt.Printf("  FLOOR MISSED: %s\n", v)
+	}
+	ok := len(regs) == 0 && len(speedupRegs) == 0 && len(c.Missing) == 0 && len(violations) == 0
 	if !ok {
-		fmt.Printf("  FAIL: %d ns/op regression(s), %d speedup regression(s), %d missing entr(ies)\n",
-			len(regs), len(speedupRegs), len(c.Missing))
+		fmt.Printf("  FAIL: %d ns/op regression(s), %d speedup regression(s), %d missing entr(ies), %d floor(s) missed\n",
+			len(regs), len(speedupRegs), len(c.Missing), len(violations))
 	}
 	return ok
 }

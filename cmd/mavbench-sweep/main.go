@@ -30,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -37,7 +39,17 @@ import (
 	"mavbench/pkg/mavbench/client"
 )
 
+// main parses flags, brackets the sweep with the requested profilers and
+// exits with run's code. Profile teardown must not be skipped on failure
+// paths, so run reports an exit code instead of calling os.Exit itself.
 func main() {
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file when the sweep finishes")
+	code := run(cpuprofile, memprofile)
+	os.Exit(code)
+}
+
+func run(cpuprofile, memprofile *string) int {
 	workload := flag.String("workload", "package_delivery", "workload to sweep")
 	seed := flag.Int64("seed", 1, "random seed")
 	scale := flag.Float64("world-scale", 0.45, "environment scale factor")
@@ -53,6 +65,35 @@ func main() {
 	priority := flag.Int("priority", 0, "campaign priority 0-8 on a fleet coordinator, clamped to the tenant's ceiling (requires -remote)")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(fmt.Errorf("creating -cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("starting CPU profile: %w", err))
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mavbench-sweep: creating -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mavbench-sweep: writing -memprofile:", err)
+			}
+		}()
+	}
+
 	opts := []mavbench.Option{
 		mavbench.WithSeed(*seed),
 		mavbench.WithLocalizer("ground_truth"),
@@ -64,16 +105,16 @@ func main() {
 	}
 	base, err := mavbench.NewSpec(*workload, opts...)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	points, err := filterPoints(mavbench.PaperOperatingPoints(), *coresList, *freqList)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	specs, err := expandSpecs(base, points, *difficulty)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	fmt.Println("workload,scenario,difficulty,cores,freq_ghz,avg_velocity_mps,mission_time_s,energy_kj,hover_time_s,success,error")
@@ -88,12 +129,11 @@ func main() {
 		cl := client.New(*remote)
 		cl.APIKey = *apiKey
 		cl.Priority = *priority
-		runRemote(cl, specs, *stream, row)
-		return
+		return runRemote(cl, specs, *stream, row)
 	}
 	if *apiKey != "" || *priority != 0 {
 		fmt.Fprintln(os.Stderr, "mavbench-sweep: -api-key and -priority require -remote")
-		os.Exit(2)
+		return 2
 	}
 
 	campaign := mavbench.NewCampaign(specs...).SetWorkers(*workers)
@@ -105,9 +145,9 @@ func main() {
 			failed = failed || !res.OK()
 		}
 		if failed {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	results, err := campaign.Collect(context.Background())
@@ -115,15 +155,16 @@ func main() {
 		fmt.Println(row(res))
 	}
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
+	return 0
 }
 
 // runRemote executes the sweep on a mavbenchd server: -stream prints rows in
 // completion order as the NDJSON stream delivers them, otherwise rows print
 // in operating-point order once the campaign finishes — matching the local
 // modes exactly.
-func runRemote(cl *client.Client, specs []mavbench.Spec, stream bool, row func(mavbench.Result) string) {
+func runRemote(cl *client.Client, specs []mavbench.Spec, stream bool, row func(mavbench.Result) string) int {
 	ctx := context.Background()
 	anyFailed := false
 	if stream {
@@ -133,7 +174,7 @@ func runRemote(cl *client.Client, specs []mavbench.Spec, stream bool, row func(m
 			return nil
 		})
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	} else {
 		results, err := cl.Run(ctx, specs)
@@ -142,12 +183,13 @@ func runRemote(cl *client.Client, specs []mavbench.Spec, stream bool, row func(m
 			anyFailed = anyFailed || !res.OK()
 		}
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
 	if anyFailed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // expandSpecs builds the campaign's spec list: the operating-point sweep,
@@ -224,9 +266,10 @@ func splitList(s string) []string {
 	return out
 }
 
-func fail(err error) {
+// fail prints the error and returns the failure exit code for run to report.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "mavbench-sweep:", err)
-	os.Exit(1)
+	return 1
 }
 
 // csvField quotes a value per RFC 4180 when it contains a comma, quote or

@@ -30,6 +30,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux for -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +58,7 @@ func main() {
 	tenantsFile := flag.String("tenants", "", "JSON tenant roster: switches POST /v1/campaigns to authenticated multi-tenant admission (X-API-Key)")
 	journalDir := flag.String("journal-dir", "", "write-ahead journal directory: submissions survive a restart (unfinished campaigns resume on startup)")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
 
 	if *workerMode != (*join != "") {
@@ -82,6 +84,18 @@ func main() {
 	if *storeBackend == "segment" && *storeMaxMB > 0 {
 		fmt.Fprintln(os.Stderr, "mavbenchd: -store-max-mb applies to the disk backend only (the segment store reclaims space by compaction)")
 		os.Exit(2)
+	}
+
+	if *pprofAddr != "" {
+		// The profiling endpoint lives on its own listener (and its own mux —
+		// importing net/http/pprof only registers on http.DefaultServeMux), so
+		// profiling exposure is opt-in and never shares a port with the API.
+		go func() {
+			log.Printf("mavbenchd: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("mavbenchd: pprof server: %v", err)
+			}
+		}()
 	}
 
 	cfg := server.Config{Workers: *workers, DisableCache: *noCache, FleetToken: *fleetToken}

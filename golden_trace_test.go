@@ -220,3 +220,24 @@ func TestGoldenTracesWorkerInvariance(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenTracesWorkerOversubscription runs the golden campaign on a pool
+// far wider than any expected machine (32 workers) and requires traces
+// bit-identical to the sequential run. Heavy oversubscription maximises
+// goroutine interleaving over the shared object pools (octomap chunks, camera
+// pixel buffers, point-cloud scratch), so a pooled object leaking state
+// between concurrent runs surfaces here as a trace diff — CI additionally
+// runs this test under the race detector.
+func TestGoldenTracesWorkerOversubscription(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sequential := runGoldenCampaign(t, 1)
+	wide := runGoldenCampaign(t, 32)
+	for i := range sequential {
+		if s, p := traceJSON(t, sequential[i]), traceJSON(t, wide[i]); s != p {
+			t.Errorf("trace %q differs at workers=32:\n  workers=1:  %s\n  workers=32: %s",
+				sequential[i].Name, s, p)
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Entry mirrors one benchmark entry of a BENCH_*.json file.
@@ -124,6 +126,117 @@ func (c Comparison) SpeedupRegressions(threshold float64) []Delta {
 	for _, d := range c.Deltas {
 		if d.OldSpeedup > 0 && d.NewSpeedup > 0 && d.NewSpeedup < d.OldSpeedup*(1-threshold) {
 			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Floor is a minimum-performance target for one entry of one suite: unlike
+// the regression thresholds above (relative to a baseline file), a floor is
+// an absolute requirement on a fresh run, so a suite can be gated on "at
+// least X" — e.g. the golden campaign's ≥10 runs/sec target — rather than on
+// "no worse than last time".
+type Floor struct {
+	Suite  string // suite name the floor applies to ("" = any suite)
+	Entry  string // entry name within the suite
+	Metric string // key in Entry.Metrics, or "ns_per_op"
+	Min    float64
+	// AtMost inverts the comparison: the metric must be <= Min instead of
+	// >= Min (for lower-is-better metrics such as ns_per_op).
+	AtMost bool
+}
+
+// String renders the floor in its ParseFloor syntax.
+func (f Floor) String() string {
+	op := ">="
+	if f.AtMost {
+		op = "<="
+	}
+	return fmt.Sprintf("%s:%s:%s%s%g", f.Suite, f.Entry, f.Metric, op, f.Min)
+}
+
+// ParseFloor parses a "suite:entry:metric>=min" (or "...<=max") spec, the
+// syntax of mavbench-benchdiff's -floor flag. Entry names may themselves
+// contain a slash-separated path; only the first and last ':' delimit fields.
+func ParseFloor(s string) (Floor, error) {
+	var f Floor
+	suite, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return f, fmt.Errorf("benchcmp: floor %q: want suite:entry:metric>=min", s)
+	}
+	entry, cond, ok := strings.Cut(rest, ":")
+	if !ok {
+		return f, fmt.Errorf("benchcmp: floor %q: want suite:entry:metric>=min", s)
+	}
+	var metric, val string
+	switch {
+	case strings.Contains(cond, ">="):
+		metric, val, _ = strings.Cut(cond, ">=")
+	case strings.Contains(cond, "<="):
+		metric, val, _ = strings.Cut(cond, "<=")
+		f.AtMost = true
+	default:
+		return f, fmt.Errorf("benchcmp: floor %q: condition %q needs >= or <=", s, cond)
+	}
+	min, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return f, fmt.Errorf("benchcmp: floor %q: bad bound %q: %w", s, val, err)
+	}
+	if suite == "" || entry == "" || metric == "" {
+		return f, fmt.Errorf("benchcmp: floor %q: empty field", s)
+	}
+	f.Suite, f.Entry, f.Metric, f.Min = suite, entry, metric, min
+	return f, nil
+}
+
+// FloorViolation reports one floor a fresh run missed (or could not be
+// evaluated against, when the entry or metric is absent — an absent target
+// must fail the gate, not silently pass it).
+type FloorViolation struct {
+	Floor  Floor
+	Got    float64
+	Reason string // "" when Got simply missed the bound
+}
+
+func (v FloorViolation) String() string {
+	if v.Reason != "" {
+		return fmt.Sprintf("%s: %s", v.Floor, v.Reason)
+	}
+	return fmt.Sprintf("%s: got %g", v.Floor, v.Got)
+}
+
+// CheckFloors evaluates every floor whose suite matches fresh against the
+// fresh run, returning the violations in floor order.
+func CheckFloors(fresh File, floors []Floor) []FloorViolation {
+	byName := map[string]Entry{}
+	for _, e := range fresh.Entries {
+		byName[e.Name] = e
+	}
+	var out []FloorViolation
+	for _, f := range floors {
+		if f.Suite != "" && f.Suite != fresh.Suite {
+			continue
+		}
+		e, ok := byName[f.Entry]
+		if !ok {
+			out = append(out, FloorViolation{Floor: f, Reason: "entry missing from fresh run"})
+			continue
+		}
+		var got float64
+		if f.Metric == "ns_per_op" {
+			got = e.NsPerOp
+		} else if v, ok := e.Metrics[f.Metric]; ok {
+			got = v
+		} else {
+			out = append(out, FloorViolation{Floor: f, Reason: "metric missing from entry"})
+			continue
+		}
+		if f.AtMost {
+			if got > f.Min {
+				out = append(out, FloorViolation{Floor: f, Got: got})
+			}
+		} else if got < f.Min {
+			out = append(out, FloorViolation{Floor: f, Got: got})
 		}
 	}
 	return out

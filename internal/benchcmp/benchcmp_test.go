@@ -73,6 +73,83 @@ func TestSpeedupRegressions(t *testing.T) {
 	}
 }
 
+func TestParseFloor(t *testing.T) {
+	f, err := ParseFloor("sweep:golden_campaign/workers=1:runs_per_sec>=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Floor{Suite: "sweep", Entry: "golden_campaign/workers=1", Metric: "runs_per_sec", Min: 10}
+	if f != want {
+		t.Errorf("parsed %+v, want %+v", f, want)
+	}
+	if f.String() != "sweep:golden_campaign/workers=1:runs_per_sec>=10" {
+		t.Errorf("String() = %q", f.String())
+	}
+
+	f, err = ParseFloor("octomap:chunked/insert:ns_per_op<=2500.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.AtMost || f.Min != 2500.5 || f.Metric != "ns_per_op" {
+		t.Errorf("parsed %+v", f)
+	}
+
+	for _, bad := range []string{
+		"",
+		"sweep",
+		"sweep:entry",
+		"sweep:entry:metric",         // no comparator
+		"sweep:entry:metric>=",       // no bound
+		"sweep:entry:metric>=banana", // non-numeric bound
+		"sweep::metric>=1",           // empty entry
+		":entry:metric>=1",           // empty suite
+	} {
+		if _, err := ParseFloor(bad); err == nil {
+			t.Errorf("ParseFloor(%q) did not error", bad)
+		}
+	}
+}
+
+func TestCheckFloors(t *testing.T) {
+	fresh := file("sweep",
+		Entry{Name: "golden_campaign/workers=1", NsPerOp: 2.1e9,
+			Metrics: map[string]float64{"runs_per_sec": 10.4}},
+	)
+	floors := []Floor{
+		{Suite: "sweep", Entry: "golden_campaign/workers=1", Metric: "runs_per_sec", Min: 10},
+		{Suite: "octomap", Entry: "whatever", Metric: "x", Min: 1}, // other suite: skipped
+	}
+	if v := CheckFloors(fresh, floors); len(v) != 0 {
+		t.Fatalf("violations = %+v", v)
+	}
+
+	floors[0].Min = 11 // now missed
+	v := CheckFloors(fresh, floors)
+	if len(v) != 1 || v[0].Got != 10.4 {
+		t.Fatalf("violations = %+v", v)
+	}
+
+	// ns_per_op is addressable as a metric, with <= for lower-is-better.
+	atMost := []Floor{{Suite: "sweep", Entry: "golden_campaign/workers=1", Metric: "ns_per_op", Min: 3e9, AtMost: true}}
+	if v := CheckFloors(fresh, atMost); len(v) != 0 {
+		t.Fatalf("ns_per_op <= 3e9 violated: %+v", v)
+	}
+	atMost[0].Min = 1e9
+	if v := CheckFloors(fresh, atMost); len(v) != 1 {
+		t.Fatalf("ns_per_op <= 1e9 not violated: %+v", v)
+	}
+
+	// An absent entry or metric must fail the gate, not silently pass.
+	missing := []Floor{
+		{Suite: "sweep", Entry: "absent_entry", Metric: "runs_per_sec", Min: 1},
+		{Suite: "sweep", Entry: "golden_campaign/workers=1", Metric: "absent_metric", Min: 1},
+	}
+	v = CheckFloors(fresh, missing)
+	if len(v) != 2 || v[0].Reason == "" || v[1].Reason == "" {
+		t.Fatalf("violations = %+v", v)
+	}
+}
+
 func TestLoadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_x.json")
 	if err := os.WriteFile(path, []byte(`{

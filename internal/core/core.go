@@ -440,6 +440,9 @@ func RunWithCache(p Params, wc *env.WorldCache) (Result, error) {
 		return Result{}, fmt.Errorf("core: setting up %s: %w", p.Workload, err)
 	}
 	report, err := s.Run()
+	// The report is plain values — nothing in it references simulator-owned
+	// state — so pooled resources can be released before returning.
+	s.Teardown()
 	if err != nil {
 		return Result{}, err
 	}

@@ -140,8 +140,18 @@ func (r Runner) parallelErrs(ctx context.Context, n int, task func(i int) error)
 					return
 				}
 				if err := ctx.Err(); err != nil {
+					// Short-circuit: stamp this index, then claim every
+					// index that no worker has started and stamp those in
+					// one walk instead of one atomic claim per index. Swap
+					// both reads the frontier and parks it at n, so other
+					// workers stop claiming immediately; indices below the
+					// frontier belong to workers already inside runTask and
+					// keep their real results.
 					errs[i] = fmt.Errorf("core: run %d canceled: %w", i, err)
-					continue
+					for j := int(next.Swap(int64(n))); j < n; j++ {
+						errs[j] = fmt.Errorf("core: run %d canceled: %w", j, err)
+					}
+					return
 				}
 				errs[i] = runTask(task, i)
 			}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"mavbench/internal/compute"
+	"mavbench/internal/des"
 	"mavbench/internal/env"
 	"mavbench/internal/geom"
 	"mavbench/internal/sim"
@@ -255,5 +256,120 @@ func TestRunnerWorkerDefaults(t *testing.T) {
 	}
 	if got := (Runner{Workers: 3}).workers(); got != 3 {
 		t.Errorf("workers() = %d, want 3", got)
+	}
+}
+
+// TestParallelCancelShortCircuitsRemainingIndices pins the canceled-sweep
+// contract: once the context is canceled mid-sweep, (1) tasks that already
+// completed keep their real results, (2) every unexecuted index is stamped
+// with a canceled error naming it, and (3) the walk over the remaining
+// indices is a single claim, not one atomic round-trip per index — the
+// frontier jumps straight to n, so no task runs after cancellation.
+func TestParallelCancelShortCircuitsRemainingIndices(t *testing.T) {
+	const n = 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int32
+	errs := Runner{Workers: 2}.parallelErrs(ctx, n, func(i int) error {
+		executed.Add(1)
+		if i == 3 {
+			cancel() // cancel mid-sweep, from inside a run
+		}
+		return nil
+	})
+	ran := int(executed.Load())
+	if ran >= n {
+		t.Fatalf("all %d tasks ran; cancellation never short-circuited", n)
+	}
+	var completed, canceled int
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			completed++
+		case errors.Is(err, context.Canceled):
+			canceled++
+			if !strings.Contains(err.Error(), fmt.Sprintf("run %d", i)) {
+				t.Fatalf("canceled error for index %d does not name it: %v", i, err)
+			}
+		default:
+			t.Fatalf("index %d: unexpected error %v", i, err)
+		}
+	}
+	if completed != ran {
+		t.Errorf("%d tasks executed but %d slots kept nil errors", ran, completed)
+	}
+	if completed+canceled != n {
+		t.Errorf("completed (%d) + canceled (%d) != n (%d)", completed, canceled, n)
+	}
+	if canceled == 0 {
+		t.Error("no index was stamped canceled")
+	}
+}
+
+// cancelingWorkload cancels a context during its cancelAt-th Setup, so a
+// single-worker RunAll deterministically completes the first runs and
+// cancels the rest.
+type cancelingWorkload struct {
+	name     string
+	cancel   context.CancelFunc
+	cancelAt int32
+	setups   atomic.Int32
+}
+
+func (c *cancelingWorkload) Name() string        { return c.name }
+func (c *cancelingWorkload) Description() string { return "cancels mid-campaign" }
+func (c *cancelingWorkload) World(p Params) (*env.World, geom.Vec3, error) {
+	return env.BoundedEmptyWorld(40, 20, p.Seed), geom.V3(0, 0, 0), nil
+}
+func (c *cancelingWorkload) Setup(s *sim.Simulator, p Params) error {
+	if c.setups.Add(1) == c.cancelAt {
+		c.cancel()
+	}
+	s.Engine().Schedule(des.Seconds(1), "cancel/finish", func(*des.Engine) {
+		s.CompleteMission(true, "")
+	})
+	return nil
+}
+
+// TestRunAllCancelPreservesPartialResults pins RunAll's half of the
+// contract: a cancellation mid-campaign keeps the finished runs' Reports and
+// surfaces every skipped run as a canceled Result, with the joined error
+// naming the canceled runs.
+func TestRunAllCancelPreservesPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	registerTemp(t, &cancelingWorkload{name: "cancel_partial_workload", cancel: cancel, cancelAt: 3})
+	runs := make([]Params, 8)
+	for i := range runs {
+		runs[i] = Params{Workload: "cancel_partial_workload", Seed: int64(i + 1), MaxMissionTimeS: 30}
+	}
+	results, err := Runner{Workers: 1}.RunAll(ctx, runs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("joined error = %v, want context.Canceled", err)
+	}
+	if len(results) != len(runs) {
+		t.Fatalf("got %d results for %d runs", len(results), len(runs))
+	}
+	var completed, canceled int
+	for i, res := range results {
+		if res.Err == nil {
+			completed++
+			if res.Report.MissionTimeS <= 0 {
+				t.Errorf("completed run %d has an empty Report", i)
+			}
+			continue
+		}
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("run %d: unexpected error %v", i, res.Err)
+		}
+		canceled++
+		if !strings.Contains(err.Error(), fmt.Sprintf("run %d", i)) {
+			t.Errorf("joined error does not name canceled run %d: %v", i, err)
+		}
+	}
+	// Single worker, cancel fires inside the third run's setup: the first
+	// three runs complete (the canceling run itself finishes — cancellation
+	// only skips runs that have not started), the rest are stamped canceled.
+	if completed != 3 || canceled != len(runs)-3 {
+		t.Errorf("completed = %d, canceled = %d; want 3 and %d", completed, canceled, len(runs)-3)
 	}
 }

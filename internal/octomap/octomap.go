@@ -75,7 +75,12 @@ const (
 // chunk cache. Every simulator run owns its own Map.
 type Map struct {
 	resolution float64
-	bounds     geom.AABB
+	// invRes = fl(1/resolution), used by key's guarded fast path: voxel
+	// quantisation multiplies by the reciprocal and only falls back to the
+	// (slower, canonical) division when the product lies within guard distance
+	// of an integer, where the two could round to different cells.
+	invRes float64
+	bounds geom.AABB
 
 	chunks    map[chunkKey]*chunk
 	leafCount int
@@ -90,36 +95,110 @@ type Map struct {
 	cacheChunk *chunk
 	cacheValid bool
 
+	// grid is a dense chunk directory covering the map bounds: chunkAt and
+	// chunkCreate resolve in-bounds chunk coordinates with array indexing
+	// instead of hashing. It is nil when the bounds would need more than
+	// maxGridChunks entries; m.chunks stays authoritative either way (chunk
+	// counting and leaf iteration always go through the map), so chunks that
+	// fall outside the grid — Rebuild can re-quantise edge voxels half a
+	// voxel past the bounds — simply take the hash path.
+	grid    []*chunk
+	gridMin chunkKey
+	gridDim [3]int32
+
+	// regionScratch is CollidesSphere's per-query chunk-region buffer.
+	regionScratch []*chunk
+
 	// sphereOffsets caches, per query radius, the pruned voxel-offset
 	// neighbourhood CollidesSphere scans. A mission uses only a handful of
 	// distinct radii, so this is a tiny map of reusable scratch buffers.
 	sphereOffsets map[float64][]voxelKey
-	// keyScratch is reused across FrontierCells calls.
-	keyScratch []leafEntry
+	// chunkKeyScratch / chunkPtrScratch are reused across FrontierCells
+	// calls (sorted chunk directory for the ordered traversal).
+	chunkKeyScratch []chunkKey
+	chunkPtrScratch []*chunk
 
 	inserts     uint64
 	raysTraced  uint64
 	pointsAdded uint64
+
+	// Insertion memo: when the previous InsertPointCloud changed no voxel
+	// state (every update clamped to its existing value — a saturated map
+	// re-observing the same scene) and the next call presents the identical
+	// scan, the voxel work is skipped and only the counters are replayed.
+	// Identical input against identical map state takes identical control
+	// flow, so the replayed counter deltas are exactly what a re-execution
+	// would have produced. memoVersion pins the map state: any interleaved
+	// voxel write bumps version and the memo self-invalidates.
+	memoValid    bool
+	memoClean    bool
+	memoVersion  uint64
+	memoOrigin   geom.Vec3
+	memoMaxRange float64
+	memoPoints   []geom.Vec3
+	memoDeltas   struct{ version, rays, points uint64 }
+	// insertDirty is set by updateIn whenever a voxel value actually changes;
+	// InsertPointCloud resets it around a scan to detect clean insertions.
+	insertDirty bool
 }
 
 type voxelKey struct{ X, Y, Z int32 }
-
-type leafEntry struct {
-	key voxelKey
-	lo  float64
-}
 
 // New creates an empty map covering bounds with the given voxel edge length.
 func New(resolution float64, bounds geom.AABB) *Map {
 	if resolution <= 0 {
 		resolution = 0.15
 	}
-	return &Map{
+	m := &Map{
 		resolution:    resolution,
+		invRes:        1 / resolution,
 		bounds:        bounds,
 		chunks:        map[chunkKey]*chunk{},
 		sphereOffsets: map[float64][]voxelKey{},
 	}
+	m.initGrid()
+	return m
+}
+
+// maxGridChunks caps the dense chunk directory at 4M entries (32 MB of
+// pointers); maps with larger bounds fall back to hash-only lookups.
+const maxGridChunks = 4 << 20
+
+// initGrid sizes the dense chunk directory from the map bounds.
+func (m *Map) initGrid() {
+	kmin := m.key(m.bounds.Min)
+	kmax := m.key(m.bounds.Max)
+	if kmax.X < kmin.X || kmax.Y < kmin.Y || kmax.Z < kmin.Z {
+		return
+	}
+	cmin := chunkKey{kmin.X >> chunkBits, kmin.Y >> chunkBits, kmin.Z >> chunkBits}
+	cmax := chunkKey{kmax.X >> chunkBits, kmax.Y >> chunkBits, kmax.Z >> chunkBits}
+	nx := int64(cmax.X-cmin.X) + 1
+	ny := int64(cmax.Y-cmin.Y) + 1
+	nz := int64(cmax.Z-cmin.Z) + 1
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return
+	}
+	total := nx * ny * nz
+	if total > maxGridChunks {
+		return
+	}
+	m.gridMin = cmin
+	m.gridDim = [3]int32{int32(nx), int32(ny), int32(nz)}
+	m.grid = make([]*chunk, total)
+}
+
+// gridIndex maps a chunk coordinate to its dense-directory slot. The unsigned
+// comparison rejects coordinates below gridMin and beyond the extent in one
+// test per axis, and a nil grid (gridDim zero) rejects everything.
+func (m *Map) gridIndex(ck chunkKey) (int, bool) {
+	x := uint32(ck.X - m.gridMin.X)
+	y := uint32(ck.Y - m.gridMin.Y)
+	z := uint32(ck.Z - m.gridMin.Z)
+	if x >= uint32(m.gridDim[0]) || y >= uint32(m.gridDim[1]) || z >= uint32(m.gridDim[2]) {
+		return 0, false
+	}
+	return (int(x)*int(m.gridDim[1])+int(y))*int(m.gridDim[2]) + int(z), true
 }
 
 // Resolution returns the voxel edge length in meters.
@@ -162,10 +241,27 @@ func (m *Map) PointsAdded() uint64 { return m.pointsAdded }
 
 func (m *Map) key(p geom.Vec3) voxelKey {
 	return voxelKey{
-		X: int32(math.Floor(p.X / m.resolution)),
-		Y: int32(math.Floor(p.Y / m.resolution)),
-		Z: int32(math.Floor(p.Z / m.resolution)),
+		X: m.quantize(p.X),
+		Y: m.quantize(p.Y),
+		Z: m.quantize(p.Z),
 	}
+}
+
+// quantize returns int32(math.Floor(x / m.resolution)), the seed's voxel
+// coordinate, computed on a fast path as x*invRes. fl(x*fl(1/res)) and
+// fl(x/res) agree to within ~3 ulps relative, so whenever the product sits
+// further than the guard margin from both neighbouring integers their floors
+// are provably equal; only near-boundary samples (and non-finite inputs,
+// whose comparisons fail) take the division. Results are bit-identical.
+func (m *Map) quantize(x float64) int32 {
+	q := x * m.invRes
+	f := math.Floor(q)
+	d := q - f
+	eps := 1e-14 * math.Abs(q)
+	if d > eps && 1-d > eps {
+		return int32(f)
+	}
+	return int32(math.Floor(x / m.resolution))
 }
 
 func (m *Map) center(k voxelKey) geom.Vec3 {
@@ -183,10 +279,17 @@ func (m *Map) VoxelCenter(p geom.Vec3) geom.Vec3 {
 
 func (m *Map) update(k voxelKey, delta float64) {
 	ck, li := chunkOf(k)
-	c := m.chunkCreate(ck)
+	m.updateIn(m.chunkCreate(ck), li, delta)
+}
+
+// updateIn applies a log-odds delta to one voxel of an already-resolved
+// chunk. Ray insertion resolves the chunk once per chunk transition and
+// funnels every voxel of the run through here.
+func (m *Map) updateIn(c *chunk, li int, delta float64) {
 	// An unknown voxel's slot holds 0.0, the same implicit default a missing
 	// hash-map entry used to read — update arithmetic stays bit-identical.
-	v := c.logOdds[li] + delta
+	v0 := c.logOdds[li]
+	v := v0 + delta
 	if v > logOddsMax {
 		v = logOddsMax
 	}
@@ -194,6 +297,16 @@ func (m *Map) update(k voxelKey, delta float64) {
 		v = logOddsMin
 	}
 	c.logOdds[li] = v
+	if v != v0 {
+		m.insertDirty = true
+	}
+	if (v > occupiedLogOdds) != (v0 > occupiedLogOdds) {
+		if v > occupiedLogOdds {
+			c.occ++
+		} else {
+			c.occ--
+		}
+	}
 	if c.markKnown(li) {
 		m.leafCount++
 	}
@@ -217,9 +330,30 @@ func (m *Map) MarkFree(p geom.Vec3) {
 	m.update(m.key(p), logOddsMiss)
 }
 
-// InsertRay carves free space from origin to end and marks the endpoint
-// occupied (the standard OctoMap insertRay).
-func (m *Map) InsertRay(origin, end geom.Vec3, maxRange float64) {
+// rayBatch is the chunk cursor threaded through batched ray insertion: the
+// chunk holding the previous sample, so runs of samples in the same chunk
+// skip chunk resolution entirely. Chunk pointers are stable for the life of
+// the map (Clear replaces the directory wholesale), so a cursor can safely
+// persist across the rays of a scan.
+type rayBatch struct {
+	ck chunkKey
+	c  *chunk
+}
+
+// mark applies one log-odds update at p through the batch cursor, resolving
+// the chunk only on chunk transitions.
+func (b *rayBatch) mark(m *Map, p geom.Vec3, delta float64) {
+	ck, li := chunkOf(m.key(p))
+	if b.c == nil || ck != b.ck {
+		b.ck, b.c = ck, m.chunkCreate(ck)
+	}
+	m.updateIn(b.c, li, delta)
+}
+
+// insertRayBatch is InsertRay with the chunk cursor supplied by the caller.
+// The update sequence (sample order, deltas, bounds filtering) is exactly the
+// seed's MarkFree/MarkOccupied loop, so results are bit-identical.
+func (m *Map) insertRayBatch(origin, end geom.Vec3, maxRange float64, b *rayBatch) {
 	dir := end.Sub(origin)
 	dist := dir.Norm()
 	if dist == 0 {
@@ -232,25 +366,79 @@ func (m *Map) InsertRay(origin, end geom.Vec3, maxRange float64) {
 		truncated = true
 	}
 	steps := int(dist/m.resolution) + 1
+	// Hoisted Lerp: (end - origin) is loop-invariant; each sample performs
+	// the identical subtract/multiply/add Lerp would, so p is bit-identical.
+	span := end.Sub(origin)
+	fsteps := float64(steps)
 	for i := 0; i < steps; i++ {
-		t := float64(i) / float64(steps)
-		m.MarkFree(origin.Lerp(end, t))
+		t := float64(i) / fsteps
+		p := geom.Vec3{X: origin.X + span.X*t, Y: origin.Y + span.Y*t, Z: origin.Z + span.Z*t}
+		if m.bounds.Contains(p) {
+			b.mark(m, p, logOddsMiss)
+		}
 	}
-	if !truncated {
-		m.MarkOccupied(end)
+	if !truncated && m.bounds.Contains(end) {
+		b.mark(m, end, logOddsHit)
+		m.pointsAdded++
 	}
 	m.raysTraced++
 }
 
+// InsertRay carves free space from origin to end and marks the endpoint
+// occupied (the standard OctoMap insertRay).
+func (m *Map) InsertRay(origin, end geom.Vec3, maxRange float64) {
+	var b rayBatch
+	m.insertRayBatch(origin, end, maxRange, &b)
+}
+
 // InsertPointCloud integrates a sensor scan: each point carves a free ray
-// from the sensor origin and marks its endpoint occupied. Consecutive rays of
-// a scan sweep neighbouring space, so the batch runs almost entirely on the
-// chunk cache.
+// from the sensor origin and marks its endpoint occupied. The batch threads
+// one chunk cursor through every ray of the scan — consecutive rays sweep
+// nearly identical chunk runs, so chunk resolution is amortised to roughly
+// one lookup per chunk transition for the whole depth image.
 func (m *Map) InsertPointCloud(origin geom.Vec3, points []geom.Vec3, maxRange float64) {
+	if m.memoValid && m.memoClean && m.version == m.memoVersion &&
+		origin == m.memoOrigin && maxRange == m.memoMaxRange && vecsEqual(points, m.memoPoints) {
+		// The previous, identical scan changed nothing against this exact map
+		// state, so re-tracing it would only advance the counters. Replay
+		// them and skip the voxel work (a hovering MAV re-observing a
+		// saturated scene hits this every frame).
+		m.version += m.memoDeltas.version
+		m.raysTraced += m.memoDeltas.rays
+		m.pointsAdded += m.memoDeltas.points
+		m.inserts++
+		m.memoVersion = m.version
+		return
+	}
+	v0, r0, p0, l0 := m.version, m.raysTraced, m.pointsAdded, m.leafCount
+	m.insertDirty = false
+	var b rayBatch
 	for _, p := range points {
-		m.InsertRay(origin, p, maxRange)
+		m.insertRayBatch(origin, p, maxRange, &b)
 	}
 	m.inserts++
+	m.memoValid = true
+	m.memoClean = !m.insertDirty && m.leafCount == l0
+	m.memoVersion = m.version
+	m.memoOrigin, m.memoMaxRange = origin, maxRange
+	m.memoPoints = append(m.memoPoints[:0], points...)
+	m.memoDeltas.version = m.version - v0
+	m.memoDeltas.rays = m.raysTraced - r0
+	m.memoDeltas.points = m.pointsAdded - p0
+}
+
+// vecsEqual reports exact (bitwise, for non-NaN inputs) equality of two point
+// slices.
+func vecsEqual(a, b []geom.Vec3) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // At returns the occupancy classification of point p.
@@ -321,17 +509,67 @@ func (m *Map) offsetsFor(radius float64, r int) []voxelKey {
 // whether or not it passes the filter — so occupancy is looked up first and
 // the filter's square root is paid only for voxels that could actually
 // trigger a collision. The verdict is identical to filtering every voxel.
+// The query resolves the chunks covering its voxel neighbourhood once into a
+// small region array (typically 8 chunks for mission radii), then serves
+// every per-voxel lookup from that array. Because every chunk tracks its
+// occupied-voxel count, a region that is entirely known free space — the
+// common case along a validated trajectory — is cleared after the chunk scan
+// alone, without visiting a single voxel. Both shortcuts only reorder
+// independent boolean lookups, so the verdict is identical to the seed's
+// per-offset scan.
 func (m *Map) CollidesSphere(p geom.Vec3, radius float64, treatUnknownAsOccupied bool) bool {
 	r := int(math.Ceil(radius/m.resolution)) + 1
 	center := m.key(p)
 	limit := radius + m.resolution*0.87
-	for _, off := range m.offsetsFor(radius, r) {
-		k := voxelKey{center.X + off.X, center.Y + off.Y, center.Z + off.Z}
-		lo, known := m.logOddsAt(k)
-		if known && lo <= occupiedLogOdds {
-			continue // free voxel: never a collision, filter irrelevant
+	offs := m.offsetsFor(radius, r)
+
+	r32 := int32(r)
+	c0 := chunkKey{(center.X - r32) >> chunkBits, (center.Y - r32) >> chunkBits, (center.Z - r32) >> chunkBits}
+	c1 := chunkKey{(center.X + r32) >> chunkBits, (center.Y + r32) >> chunkBits, (center.Z + r32) >> chunkBits}
+	rny := int(c1.Y-c0.Y) + 1
+	rnz := int(c1.Z-c0.Z) + 1
+	n := (int(c1.X-c0.X) + 1) * rny * rnz
+	region := m.regionScratch
+	if cap(region) < n {
+		region = make([]*chunk, n)
+		m.regionScratch = region
+	}
+	region = region[:n]
+	clear := true // no voxel in the region can possibly collide
+	idx := 0
+	for x := c0.X; x <= c1.X; x++ {
+		for y := c0.Y; y <= c1.Y; y++ {
+			for z := c0.Z; z <= c1.Z; z++ {
+				c := m.chunkAt(chunkKey{x, y, z})
+				region[idx] = c
+				idx++
+				if treatUnknownAsOccupied {
+					// Conservative: the chunk must be fully known and free.
+					if c == nil || c.occ != 0 || c.count != chunkVoxels {
+						clear = false
+					}
+				} else {
+					// Optimistic: only occupied voxels collide; absent or
+					// occupancy-free chunks cannot hold one.
+					if c != nil && c.occ != 0 {
+						clear = false
+					}
+				}
+			}
 		}
-		if !known && !treatUnknownAsOccupied {
+	}
+	if clear {
+		return false
+	}
+	for _, off := range offs {
+		k := voxelKey{center.X + off.X, center.Y + off.Y, center.Z + off.Z}
+		ck, li := chunkOf(k)
+		c := region[(int(ck.X-c0.X)*rny+int(ck.Y-c0.Y))*rnz+int(ck.Z-c0.Z)]
+		if c != nil && c.isKnown(li) {
+			if c.logOdds[li] <= occupiedLogOdds {
+				continue // free voxel: never a collision, filter irrelevant
+			}
+		} else if !treatUnknownAsOccupied {
 			continue // optimistic: unknown never collides, filter irrelevant
 		}
 		// Occupied (or conservatively unknown) voxel: the exact distance
@@ -389,13 +627,16 @@ func (m *Map) Stats() Stats {
 }
 
 // KnownFraction estimates how much of the map bounds has been observed,
-// which the 3-D mapping workload uses as its completion criterion.
+// which the 3-D mapping workload uses as its completion criterion. The leaf
+// count is tracked incrementally, so this is O(1) — the arithmetic matches
+// Stats().KnownVolumeM3 / Volume bit for bit.
 func (m *Map) KnownFraction() float64 {
 	vol := m.bounds.Volume()
 	if vol <= 0 {
 		return 0
 	}
-	f := m.Stats().KnownVolumeM3 / vol
+	voxVol := m.resolution * m.resolution * m.resolution
+	f := float64(m.leafCount) * voxVol / vol
 	if f > 1 {
 		return 1
 	}
@@ -406,15 +647,21 @@ func (m *Map) KnownFraction() float64 {
 // unknown space — the frontier the exploration planner samples. A limit of 0
 // means no limit. Results are returned in deterministic (sorted-key) order so
 // missions are reproducible across processes.
+//
+// The scan walks observed voxels in globally sorted key order straight out
+// of the chunk directory instead of materialising and sorting every leaf:
+// only chunk keys are sorted (there are up to 4096× fewer chunks than
+// leaves), and the walk stops as soon as limit frontier cells have been
+// emitted. The emitted cells and their order are bit-identical to sorting
+// all leaves.
 func (m *Map) FrontierCells(limit int) []geom.Vec3 {
 	var out []geom.Vec3
-	neighbours := [6]voxelKey{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
-	leaves := m.keyScratch[:0]
-	m.forEachLeaf(func(k voxelKey, lo float64) {
-		leaves = append(leaves, leafEntry{k, lo})
-	})
-	sort.Slice(leaves, func(i, j int) bool {
-		a, b := leaves[i].key, leaves[j].key
+	keys := m.chunkKeyScratch[:0]
+	for ck := range m.chunks {
+		keys = append(keys, ck)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
 		if a.X != b.X {
 			return a.X < b.X
 		}
@@ -423,32 +670,83 @@ func (m *Map) FrontierCells(limit int) []geom.Vec3 {
 		}
 		return a.Z < b.Z
 	})
-	for _, leaf := range leaves {
-		k := leaf.key
-		if leaf.lo > occupiedLogOdds {
-			continue // only free cells can be frontiers
+	ptrs := m.chunkPtrScratch[:0]
+	for _, ck := range keys {
+		ptrs = append(ptrs, m.chunks[ck])
+	}
+	m.chunkKeyScratch = keys
+	m.chunkPtrScratch = ptrs
+
+	// Voxel keys sort as (X, Y, Z); in chunk terms that is: chunk-X slabs in
+	// ascending order, local x within the slab, then per global X the slab's
+	// (chunk-Y, local y) in order, then its ascending chunk-Z runs.
+	for slabStart := 0; slabStart < len(keys); {
+		slabEnd := slabStart
+		for slabEnd < len(keys) && keys[slabEnd].X == keys[slabStart].X {
+			slabEnd++
 		}
-		frontier := false
-		for _, d := range neighbours {
-			nk := voxelKey{k.X + d.X, k.Y + d.Y, k.Z + d.Z}
-			if _, known := m.logOddsAt(nk); !known {
-				// The neighbour must also be inside the map bounds for it to
-				// be worth exploring.
-				if m.bounds.Contains(m.center(nk)) {
-					frontier = true
-					break
+		for lx := 0; lx < chunkEdge; lx++ {
+			for colStart := slabStart; colStart < slabEnd; {
+				colEnd := colStart
+				for colEnd < slabEnd && keys[colEnd].Y == keys[colStart].Y {
+					colEnd++
 				}
+				for ly := 0; ly < chunkEdge; ly++ {
+					for ci := colStart; ci < colEnd; ci++ {
+						c := ptrs[ci]
+						base := lx | ly<<chunkBits
+						for lz := 0; lz < chunkEdge; lz++ {
+							li := base | lz<<(2*chunkBits)
+							if !c.isKnown(li) {
+								continue
+							}
+							if c.logOdds[li] > occupiedLogOdds {
+								continue // only free cells can be frontiers
+							}
+							k := voxelOf(keys[ci], li)
+							if !m.isFrontier(k, c, li) {
+								continue
+							}
+							out = append(out, m.center(k))
+							if limit > 0 && len(out) >= limit {
+								return out
+							}
+						}
+					}
+				}
+				colStart = colEnd
 			}
 		}
-		if frontier {
-			out = append(out, m.center(k))
-			if limit > 0 && len(out) >= limit {
-				break
-			}
+		slabStart = slabEnd
+	}
+	return out
+}
+
+// frontierNeighbours is the 6-connected neighbourhood FrontierCells probes.
+var frontierNeighbours = [6]voxelKey{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
+
+// isFrontier reports whether the free voxel k (living in chunk c at local
+// index li) borders in-bounds unknown space. Neighbours inside the same
+// chunk are tested with direct bitmap reads; only boundary voxels fall back
+// to the chunk lookup.
+func (m *Map) isFrontier(k voxelKey, c *chunk, li int) bool {
+	lx := li & chunkMask
+	ly := (li >> chunkBits) & chunkMask
+	lz := li >> (2 * chunkBits)
+	for _, d := range frontierNeighbours {
+		nk := voxelKey{k.X + d.X, k.Y + d.Y, k.Z + d.Z}
+		var known bool
+		nx, ny, nz := lx+int(d.X), ly+int(d.Y), lz+int(d.Z)
+		if nx&^chunkMask == 0 && ny&^chunkMask == 0 && nz&^chunkMask == 0 {
+			known = c.isKnown(nx | ny<<chunkBits | nz<<(2*chunkBits))
+		} else {
+			_, known = m.logOddsAt(nk)
+		}
+		if !known && m.bounds.Contains(m.center(nk)) {
+			return true
 		}
 	}
-	m.keyScratch = leaves
-	return out
+	return false
 }
 
 // Rebuild returns a new map at a different resolution containing the same
@@ -479,6 +777,10 @@ func (m *Map) Rebuild(resolution float64) *Map {
 func (m *Map) Clear() {
 	m.chunks = map[chunkKey]*chunk{}
 	m.cacheChunk = nil
+	m.cacheValid = false
+	for i := range m.grid {
+		m.grid[i] = nil
+	}
 	m.leafCount = 0
 	m.inserts = 0
 	m.raysTraced = 0

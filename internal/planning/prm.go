@@ -4,7 +4,7 @@ import (
 	"container/heap"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"mavbench/internal/geom"
 )
@@ -86,7 +86,7 @@ func (p *PRM) Plan(req Request, checker CollisionChecker) Result {
 	for i := range nodes {
 		cands = cands[:0]
 		candIdx = index.CandidatesWithin(nodes[i], maxConn, candIdx[:0])
-		sort.Slice(candIdx, func(a, b int) bool { return candIdx[a] < candIdx[b] })
+		slices.Sort(candIdx) // indices are distinct, so any exact sort yields the same order
 		for _, j32 := range candIdx {
 			j := int(j32)
 			if i == j {

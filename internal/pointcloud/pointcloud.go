@@ -8,6 +8,7 @@ package pointcloud
 
 import (
 	"math"
+	"sync"
 
 	"mavbench/internal/geom"
 	"mavbench/internal/sensors"
@@ -24,6 +25,35 @@ type Cloud struct {
 
 // Len returns the number of points.
 func (c *Cloud) Len() int { return len(c.Points) }
+
+// pointsPool recycles point buffers between frames: the perception pipeline
+// creates and discards two clouds (raw and voxel-filtered) per depth image,
+// and recycling the backing arrays removes that steady-state allocation.
+var pointsPool = sync.Pool{New: func() any { return new([]geom.Vec3) }}
+
+// newPoints returns an empty points buffer with at least the given capacity,
+// reusing a released buffer when possible. The buffer always has length 0 —
+// stale points from a previous frame are never visible.
+func newPoints(capacity int) []geom.Vec3 {
+	b := *pointsPool.Get().(*[]geom.Vec3)
+	if cap(b) < capacity {
+		return make([]geom.Vec3, 0, capacity)
+	}
+	return b[:0]
+}
+
+// Release hands the cloud's point buffer back to the package for reuse and
+// clears the cloud. Callers must not touch the cloud (or any alias of its
+// Points) afterwards. Releasing is optional: clouds that are dropped without
+// release are simply collected by the GC.
+func (c *Cloud) Release() {
+	if c == nil || c.Points == nil {
+		return
+	}
+	pts := c.Points[:0]
+	c.Points = nil
+	pointsPool.Put(&pts)
+}
 
 // Bounds returns the axis-aligned bounding box of the cloud; ok is false for
 // an empty cloud.
@@ -63,6 +93,9 @@ func FromDepthImage(img *sensors.DepthImage, in sensors.CameraIntrinsics, opts O
 		opts.Stride = 1
 	}
 	cloud := &Cloud{Origin: img.Pose.Position, Timestamp: img.Timestamp}
+	if img.Width > 0 && img.Height > 0 {
+		cloud.Points = newPoints((img.Width/opts.Stride + 1) * (img.Height/opts.Stride + 1))
+	}
 	hf := in.HorizontalFOV
 	vf := in.VerticalFOV()
 	for v := 0; v < img.Height; v += opts.Stride {
@@ -100,34 +133,54 @@ func VoxelFilter(c *Cloud, voxel float64) *Cloud {
 		out.Points = append(out.Points, c.Points...)
 		return out
 	}
-	type acc struct {
-		sum geom.Vec3
-		n   int
-	}
-	cells := map[[3]int32]*acc{}
-	order := make([][3]int32, 0, len(c.Points))
+	s := voxelScratchPool.Get().(*voxelScratch)
+	// Clear on get: a recycled scratch must never leak cells between frames.
+	clear(s.cells)
+	s.accs = s.accs[:0]
 	for _, p := range c.Points {
 		key := [3]int32{
 			int32(math.Floor(p.X / voxel)),
 			int32(math.Floor(p.Y / voxel)),
 			int32(math.Floor(p.Z / voxel)),
 		}
-		a, ok := cells[key]
+		i, ok := s.cells[key]
 		if !ok {
-			a = &acc{}
-			cells[key] = a
-			order = append(order, key)
+			i = int32(len(s.accs))
+			s.cells[key] = i
+			s.accs = append(s.accs, voxelAcc{})
 		}
+		a := &s.accs[i]
 		a.sum = a.sum.Add(p)
 		a.n++
 	}
-	out := &Cloud{Origin: c.Origin, Timestamp: c.Timestamp, Points: make([]geom.Vec3, 0, len(cells))}
-	for _, key := range order {
-		a := cells[key]
+	// accs is in first-appearance order, exactly the order the seed's
+	// explicit key list preserved, so output point order is unchanged.
+	out := &Cloud{Origin: c.Origin, Timestamp: c.Timestamp, Points: newPoints(len(s.accs))}
+	for i := range s.accs {
+		a := &s.accs[i]
 		out.Points = append(out.Points, a.sum.Scale(1/float64(a.n)))
 	}
+	voxelScratchPool.Put(s)
 	return out
 }
+
+// voxelAcc accumulates the centroid of one voxel cell.
+type voxelAcc struct {
+	sum geom.Vec3
+	n   int
+}
+
+// voxelScratch is VoxelFilter's reusable working state: cell directory plus
+// accumulators in first-appearance order. Pooled because the SLAM pipeline
+// voxel-filters every depth frame.
+type voxelScratch struct {
+	cells map[[3]int32]int32
+	accs  []voxelAcc
+}
+
+var voxelScratchPool = sync.Pool{New: func() any {
+	return &voxelScratch{cells: make(map[[3]int32]int32, 256)}
+}}
 
 // Transform returns the cloud with every point (and the origin) offset by d.
 func Transform(c *Cloud, d geom.Vec3) *Cloud {

@@ -122,6 +122,11 @@ type Simulator struct {
 	commandsIssued uint64
 	missionDone    bool
 	collisions     uint64
+
+	// teardown callbacks registered by workloads, run by Teardown once the
+	// simulation is over and its report has been extracted (resource release:
+	// e.g. returning octomap chunks to their pool).
+	teardown []func()
 }
 
 // New builds a simulator for the given world and start position.
@@ -209,6 +214,21 @@ func New(cfg Config, world *env.World, start geom.Vec3) (*Simulator, error) {
 
 // Engine returns the discrete-event engine.
 func (s *Simulator) Engine() *des.Engine { return s.engine }
+
+// OnTeardown registers fn to run when Teardown is called. Workloads use it to
+// release pooled resources once the run — and every read of its results — is
+// finished.
+func (s *Simulator) OnTeardown(fn func()) { s.teardown = append(s.teardown, fn) }
+
+// Teardown runs the registered teardown callbacks (in registration order) and
+// clears them. The simulator must not be used afterwards. Calling Teardown is
+// optional — an un-torn-down simulator is simply collected by the GC.
+func (s *Simulator) Teardown() {
+	for _, fn := range s.teardown {
+		fn()
+	}
+	s.teardown = nil
+}
 
 // Graph returns the ROS node graph.
 func (s *Simulator) Graph() *ros.Graph { return s.graph }

@@ -86,6 +86,9 @@ func newNavigator(s *sim.Simulator, p core.Params) (*navigator, error) {
 		lastMinDepth: 1e9,
 	}
 	n.octo = octomap.New(n.currentRes, s.World().Bounds)
+	// Hand the map's chunks back to the shared pool once the run is over and
+	// its report extracted; the navigator is the map's only owner.
+	s.OnTeardown(func() { n.octo.Release() })
 	n.wire()
 	return n, nil
 }
@@ -144,7 +147,10 @@ func (n *navigator) integrateDepth(img *sensors.DepthImage) ros.CallbackResult {
 			want = n.fineRes
 		}
 		if want != n.currentRes {
-			n.octo = n.octo.Rebuild(want)
+			old := n.octo
+			n.octo = old.Rebuild(want)
+			// Rebuild has fully read the old map; recycle its chunks.
+			old.Release()
 			n.currentRes = want
 			n.s.Recorder().Count("resolution_switches", 1)
 		}
@@ -152,11 +158,17 @@ func (n *navigator) integrateDepth(img *sensors.DepthImage) ros.CallbackResult {
 
 	intr := n.s.DepthCamera().Intrinsics
 	cloud := pointcloud.FromDepthImage(img, intr, pointcloud.Options{Stride: 2, MaxRange: intr.MaxRange, MinRange: 0.3})
+	// The frame is fully consumed (MinDepth + back-projection above); hand
+	// its pixel buffer back to the camera for the next capture.
+	n.s.DepthCamera().Recycle(img)
 	filtered := pointcloud.VoxelFilter(cloud, n.currentRes)
 	n.octo.InsertPointCloud(filtered.Origin, filtered.Points, intr.MaxRange)
 
 	pcCost := n.s.Cost().MustKernelTime(compute.KernelPointCloud)
 	octoCost := n.s.Cost().OctomapInsertTime(scaledPoints(cloud.Len()), n.currentRes)
+	// Both clouds are fully consumed; recycle their point buffers.
+	filtered.Release()
+	cloud.Release()
 	n.s.Recorder().Count("octomap_inserts", 1)
 	n.s.Recorder().RecordKernel(compute.KernelPointCloud, pcCost)
 	return ros.CallbackResult{Cost: pcCost + octoCost, Kernel: compute.KernelOctomap}

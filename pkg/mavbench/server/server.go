@@ -592,6 +592,14 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// Flush the headers immediately so a slow consumer sees the stream open
+	// without waiting for the first batch.
+	flush()
 	enc := json.NewEncoder(w)
 	offset := 0
 	for {
@@ -605,17 +613,19 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 		offset += len(tail)
 		if len(tail) > 0 {
-			if flusher != nil {
-				flusher.Flush()
-			}
+			flush()
 			continue // more may have arrived while writing
 		}
 		if done {
+			// Flush before returning: the final records must reach the
+			// consumer now, not when the connection tears down.
+			flush()
 			return
 		}
 		select {
 		case <-updated:
 		case <-r.Context().Done():
+			flush()
 			return
 		}
 	}
@@ -761,6 +771,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Headers out immediately: the dispatching coordinator treats an
+		// accepted stream as a live worker.
+		flusher.Flush()
+	}
 	enc := json.NewEncoder(w)
 	for res := range eng.Stream(r.Context()) {
 		if err := enc.Encode(res); err != nil {
@@ -769,6 +784,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+	}
+	if flusher != nil {
+		// Nothing is buffered when every record flushed above, but a final
+		// flush keeps the no-results path (empty stream) honest too.
+		flusher.Flush()
 	}
 }
 
