@@ -18,7 +18,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run the full-scale configuration (9 operating points, repeats)")
-	only := flag.String("only", "", "comma-separated experiment ids to run (fig2,fig8a,fig8b,fig9a,fig9b,table1,fig10-14,fig15,fig16,fig17,fig18,fig19,table2,difficulty)")
+	only := flag.String("only", "", "comma-separated experiment ids to run (fig2,fig8a,fig8b,fig9a,fig9b,table1,fig10-14,fig15,fig16,fig17,fig18,fig19,table2,difficulty,adversarial)")
 	workers := flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS); results are identical at any worker count")
 	flag.Parse()
 
@@ -120,6 +120,15 @@ func main() {
 		// scenario (the workload the paper's obstacle-density discussion
 		// centers on).
 		_, tbl, err := experiments.DifficultySweep(sc, "package_delivery", "urban", 103)
+		fail(err)
+		fmt.Println(tbl)
+	}
+	if want("adversarial") {
+		// The generative flip side of the difficulty sweep: the scenario
+		// search hunts the knob space for the environments where the weakest
+		// and strongest operating points break down, reproducing (at reduced
+		// budget) the procedure that discovered the urban-frontier-* presets.
+		_, tbl, err := experiments.AdversarialSearch(sc, "package_delivery", 20260808)
 		fail(err)
 		fmt.Println(tbl)
 	}

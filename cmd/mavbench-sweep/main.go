@@ -20,13 +20,23 @@
 // (difficulty × operating point), composing with -remote like any other
 // campaign.
 //
+// -search switches the command from sweeping to the adversarial scenario
+// search (docs/SCENARIOS.md): it probes ONE operating point (selected with
+// -cores/-freqs), walks the difficulty-knob space toward the worlds that
+// maximize -search-objective there, and prints the found frontier as JSON
+// (-search-out writes it to a file). The search is deterministic per seed and
+// budget; with -remote the candidate batches run on the server fleet.
+//
 //	mavbench-sweep -workload scanning -remote http://coord:8080 -cores 2,4
 //	mavbench-sweep -workload package_delivery -scenario urban-dense \
 //	    -difficulty -1,-0.5,0,0.5,1 -cores 2,4 -remote http://coord:8080
+//	mavbench-sweep -workload package_delivery -search -cores 2 -freqs 0.8 \
+//	    -search-objective qof -world-scale 0.5 -max-mission-time 400 -seed 20260808
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -63,6 +73,12 @@ func run(cpuprofile, memprofile *string) int {
 	difficulty := flag.String("difficulty", "", "comma-separated continuous difficulties in [-1, 1] to sweep (empty = the scenario's grade)")
 	apiKey := flag.String("api-key", "", "tenant API key for a multi-tenant coordinator (sent as X-API-Key; requires -remote)")
 	priority := flag.Int("priority", 0, "campaign priority 0-8 on a fleet coordinator, clamped to the tenant's ceiling (requires -remote)")
+	search := flag.Bool("search", false, "run the adversarial scenario search at one operating point (select it with -cores/-freqs) instead of sweeping; prints the found frontier as JSON")
+	searchObjective := flag.String("search-objective", "collisions", "search objective: collisions (collision rate) or qof (quality-of-flight degradation)")
+	searchGenerations := flag.Int("search-generations", 0, "search refinement generations after the random init (0 = default 3)")
+	searchPopulation := flag.Int("search-population", 0, "search candidates per generation (0 = default 8)")
+	searchRepeats := flag.Int("search-repeats", 0, "missions per search candidate, paired by derived seeds (0 = default 2)")
+	searchOut := flag.String("search-out", "", "write the frontier JSON to this file instead of stdout")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -92,6 +108,70 @@ func run(cpuprofile, memprofile *string) int {
 				fmt.Fprintln(os.Stderr, "mavbench-sweep: writing -memprofile:", err)
 			}
 		}()
+	}
+
+	if !*search && (*searchGenerations != 0 || *searchPopulation != 0 || *searchRepeats != 0 || *searchOut != "") {
+		fmt.Fprintln(os.Stderr, "mavbench-sweep: -search-* flags require -search")
+		return 2
+	}
+	if *search {
+		points, err := filterPoints(mavbench.PaperOperatingPoints(), *coresList, *freqList)
+		if err != nil {
+			return fail(err)
+		}
+		if len(points) != 1 {
+			fmt.Fprintf(os.Stderr, "mavbench-sweep: -search probes a single operating point; use -cores/-freqs to select exactly one (filters matched %d)\n", len(points))
+			return 2
+		}
+		if *difficulty != "" || *stream {
+			fmt.Fprintln(os.Stderr, "mavbench-sweep: -search composes with neither -difficulty nor -stream")
+			return 2
+		}
+		family, err := searchFamily(*scenario)
+		if err != nil {
+			return fail(err)
+		}
+		req := mavbench.SearchRequest{
+			Workload:        *workload,
+			Family:          family,
+			Cores:           points[0].Cores,
+			FreqGHz:         points[0].FreqGHz,
+			Seed:            *seed,
+			Objective:       mavbench.SearchObjective(*searchObjective),
+			Generations:     *searchGenerations,
+			Population:      *searchPopulation,
+			Repeats:         *searchRepeats,
+			WorldScale:      *scale,
+			MaxMissionTimeS: *maxTime,
+			Workers:         *workers,
+		}
+		var searchOpts []mavbench.SearchOption
+		if *remote != "" {
+			cl := client.New(*remote)
+			cl.APIKey = *apiKey
+			cl.Priority = *priority
+			searchOpts = append(searchOpts, mavbench.WithSearchRunner(
+				func(ctx context.Context, specs []mavbench.Spec) ([]mavbench.Result, error) {
+					return cl.Run(ctx, specs)
+				}))
+		}
+		frontier, err := mavbench.SearchFrontier(context.Background(), req, searchOpts...)
+		if err != nil {
+			return fail(err)
+		}
+		buf, err := json.MarshalIndent(frontier, "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		buf = append(buf, '\n')
+		if *searchOut != "" {
+			if err := os.WriteFile(*searchOut, buf, 0o644); err != nil {
+				return fail(err)
+			}
+			return 0
+		}
+		os.Stdout.Write(buf)
+		return 0
 	}
 
 	opts := []mavbench.Option{
@@ -251,6 +331,28 @@ func filterPoints(points []mavbench.OperatingPoint, coresList, freqList string) 
 		return nil, fmt.Errorf("-cores/-freqs filters matched none of the %d paper operating points", len(points))
 	}
 	return out, nil
+}
+
+// searchFamily resolves the -scenario flag to the environment family the
+// adversarial search explores: empty keeps the workload's home family, a bare
+// family name names itself, and a catalog entry ("urban-dense") contributes
+// its family.
+func searchFamily(scenario string) (string, error) {
+	if scenario == "" {
+		return "", nil
+	}
+	for _, f := range mavbench.ScenarioFamilies() {
+		if scenario == f {
+			return f, nil
+		}
+	}
+	for _, info := range mavbench.Scenarios() {
+		if info.Name == scenario {
+			return info.Family, nil
+		}
+	}
+	return "", fmt.Errorf("-scenario %q names neither a family nor a catalog entry (families: %v)",
+		scenario, mavbench.ScenarioFamilies())
 }
 
 // freqKey normalizes a frequency for comparison (1.5 == 1.50).

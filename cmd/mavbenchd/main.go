@@ -57,6 +57,7 @@ func main() {
 	fleetToken := flag.String("fleet-token", "", "shared secret for worker registration: coordinators require it, workers send it (empty = open registration)")
 	tenantsFile := flag.String("tenants", "", "JSON tenant roster: switches POST /v1/campaigns to authenticated multi-tenant admission (X-API-Key)")
 	journalDir := flag.String("journal-dir", "", "write-ahead journal directory: submissions survive a restart (unfinished campaigns resume on startup)")
+	maxSearchRuns := flag.Int("max-search-runs", 0, "cap on the missions one POST /v1/search may simulate (0 = default 2048)")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
@@ -98,7 +99,7 @@ func main() {
 		}()
 	}
 
-	cfg := server.Config{Workers: *workers, DisableCache: *noCache, FleetToken: *fleetToken}
+	cfg := server.Config{Workers: *workers, DisableCache: *noCache, FleetToken: *fleetToken, MaxSearchRuns: *maxSearchRuns}
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}

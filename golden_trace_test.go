@@ -114,6 +114,15 @@ func goldenSpecs(t testing.TB) []struct {
 		mk("mapping_3d/scenario=disaster-dense", "mapping_3d", mavbench.WithScenario("disaster-dense")),
 		mk("search_and_rescue/scenario=urban-default", "search_and_rescue", mavbench.WithScenario("urban-default")),
 		mk("aerial_photography/scenario=park-dense", "aerial_photography", mavbench.WithScenario("park-dense")),
+
+		// Frontier presets discovered by the adversarial scenario search:
+		// their pinned knob vectors are catalog data, so any drift in knob
+		// resolution or world generation for these entries shows up here as
+		// a trace diff rather than silently changing what the presets mean.
+		mk("package_delivery/scenario=urban-frontier-weak", "package_delivery",
+			mavbench.WithScenario("urban-frontier-weak")),
+		mk("package_delivery/scenario=urban-frontier-strong", "package_delivery",
+			mavbench.WithScenario("urban-frontier-strong")),
 	}
 }
 

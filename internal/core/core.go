@@ -266,16 +266,21 @@ func (p Params) ScenarioFamily(workloadDefault string) string {
 // EffectiveKnobs resolves the run's difficulty knobs: the scenario grade's
 // knob set (default grade when no scenario is set), re-graded by the
 // continuous Difficulty override when non-zero, then overridden per-field by
-// any explicit ScenarioKnobs. The result is fully resolved — every field
-// set — and EffectiveKnobs of a default run is exactly env.DefaultKnobs.
+// the scenario's pinned preset knobs (frontier presets), then by any explicit
+// ScenarioKnobs. The result is fully resolved — every field set — and
+// EffectiveKnobs of a default run is exactly env.DefaultKnobs.
 func (p Params) EffectiveKnobs() env.Knobs {
 	d := p.Difficulty
-	if d == 0 && p.Scenario != "" {
+	var preset env.Knobs
+	if p.Scenario != "" {
 		if s, ok := env.LookupScenario(p.Scenario); ok {
-			d = s.Difficulty
+			if d == 0 {
+				d = s.Difficulty
+			}
+			preset = s.PresetKnobs
 		}
 	}
-	return env.GradeKnobs(d).OverrideWith(p.ScenarioKnobs)
+	return env.GradeKnobs(d).OverrideWith(preset).OverrideWith(p.ScenarioKnobs)
 }
 
 // Workload is a benchmark application. Implementations construct their

@@ -116,24 +116,32 @@ func GradeKnobs(d float64) Knobs {
 }
 
 // Scenario is one named entry of the catalog: an environment family at a
-// graded difficulty.
+// graded difficulty, or a frontier preset pinning an explicit knob vector.
 type Scenario struct {
 	// Name is the catalog key ("urban-dense").
 	Name string `json:"name"`
 	// Family is the environment generator ("urban", "indoor", "farm",
 	// "disaster", "park", "empty").
 	Family string `json:"family"`
-	// Grade is the preset tier ("sparse", "default", "dense").
+	// Grade is the preset tier ("sparse", "default", "dense") or "frontier"
+	// for presets discovered by the adversarial scenario search.
 	Grade string `json:"grade"`
-	// Difficulty is the grade's position on the continuous scale
-	// (-1, 0, +1).
+	// Difficulty is the grade's position on the continuous scale (-1, 0, +1
+	// for the graded tiers; the calibrated difficulty for frontier presets,
+	// which may extrapolate past +1).
 	Difficulty float64 `json:"difficulty"`
+	// PresetKnobs, when non-zero, pin the scenario's knob vector explicitly
+	// (frontier presets). Non-zero fields override the graded values; a
+	// fully-populated vector makes the preset independent of the grading
+	// scale entirely.
+	PresetKnobs Knobs `json:"preset_knobs,omitempty"`
 	// Description is a one-line human-readable summary.
 	Description string `json:"description"`
 }
 
-// Knobs returns the scenario's graded knob set.
-func (s Scenario) Knobs() Knobs { return GradeKnobs(s.Difficulty) }
+// Knobs returns the scenario's resolved knob set: the graded values,
+// overridden per-field by any pinned preset knobs.
+func (s Scenario) Knobs() Knobs { return GradeKnobs(s.Difficulty).OverrideWith(s.PresetKnobs) }
 
 var familyDescriptions = map[string]string{
 	"urban":    "procedural city blocks with moving vehicles (package delivery's home)",
@@ -171,6 +179,42 @@ func GradeDifficulties() []float64 {
 	return out
 }
 
+// frontierPresets are scenarios discovered by the adversarial scenario-search
+// engine (internal/search; reproduce with `mavbench-experiments -only
+// adversarial` or `mavbench-sweep -search`, see docs/SCENARIOS.md). Each pins
+// the exact knob vector the search converged to when maximizing
+// quality-of-flight degradation for package delivery at a named compute
+// operating point (seed 20260808, 4 generations × 12 candidates × 3
+// repeats, world scale 0.5); Difficulty records the calibrated difficulty
+// of that vector against the urban family's sparse/dense anchors. The
+// vectors are data, not tuning: editing them by hand breaks the golden
+// traces that pin the presets.
+var frontierPresets = []Scenario{
+	{
+		Name:        "urban-frontier-weak",
+		Family:      "urban",
+		Grade:       "frontier",
+		Difficulty:  0.567,
+		PresetKnobs: Knobs{ObstacleDensity: 1.888, ClutterScale: 1.293, DynamicCount: 1.751, DynamicSpeed: 2.101, ExtentScale: 1},
+		Description: "adversarial frontier at the weakest operating point (2 cores @ 0.8 GHz): moderately dense but fast-moving traffic that drops package delivery to 0% success when compute is scarce, while the default grade still succeeds",
+	},
+	{
+		Name:        "urban-frontier-strong",
+		Family:      "urban",
+		Grade:       "frontier",
+		Difficulty:  1.726,
+		PresetKnobs: Knobs{ObstacleDensity: 1.368, ClutterScale: 2, DynamicCount: 1.669, DynamicSpeed: 1.765, ExtentScale: 1},
+		Description: "adversarial frontier at the strongest operating point (4 cores @ 2.2 GHz): it takes a world well past the dense grade (calibrated difficulty 1.7) to break the full compute budget — the weak point's frontier sits at 0.6",
+	},
+}
+
+// FrontierScenarios returns the frontier presets, sorted by name.
+func FrontierScenarios() []Scenario {
+	out := append([]Scenario(nil), frontierPresets...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // scenarios is the catalog, keyed by name; built once at init.
 var scenarios = func() map[string]Scenario {
 	m := make(map[string]Scenario)
@@ -185,6 +229,12 @@ var scenarios = func() map[string]Scenario {
 				Description: fmt.Sprintf("%s %s", gradeAdjectives[g.name], desc),
 			}
 		}
+	}
+	for _, s := range frontierPresets {
+		if _, dup := m[s.Name]; dup {
+			panic(fmt.Sprintf("env: frontier preset %q collides with a graded catalog entry", s.Name))
+		}
+		m[s.Name] = s
 	}
 	return m
 }()

@@ -11,8 +11,8 @@ func TestScenarioCatalogShape(t *testing.T) {
 		t.Fatalf("expected 6 families, got %v", families)
 	}
 	names := Scenarios()
-	if len(names) != len(families)*3 {
-		t.Fatalf("expected %d scenarios, got %d: %v", len(families)*3, len(names), names)
+	if want := len(families)*3 + len(FrontierScenarios()); len(names) != want {
+		t.Fatalf("expected %d scenarios, got %d: %v", want, len(names), names)
 	}
 	for _, f := range families {
 		for _, grade := range []string{"sparse", "default", "dense"} {
@@ -32,6 +32,40 @@ func TestScenarioCatalogShape(t *testing.T) {
 	for i := 1; i < len(names); i++ {
 		if names[i-1] >= names[i] {
 			t.Errorf("Scenarios() not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestFrontierPresets(t *testing.T) {
+	frontier := FrontierScenarios()
+	if len(frontier) < 2 {
+		t.Fatalf("expected at least 2 frontier presets, got %d", len(frontier))
+	}
+	for i, s := range frontier {
+		if i > 0 && frontier[i-1].Name >= s.Name {
+			t.Errorf("FrontierScenarios not sorted: %q >= %q", frontier[i-1].Name, s.Name)
+		}
+		if s.Grade != "frontier" || s.Description == "" {
+			t.Errorf("frontier preset %s badly formed: %+v", s.Name, s)
+		}
+		if !strings.HasPrefix(s.Name, s.Family+"-") {
+			t.Errorf("frontier preset %q not prefixed by its family %q", s.Name, s.Family)
+		}
+		if _, ok := LookupScenario(s.Family + "-default"); !ok {
+			t.Errorf("frontier preset %s names unknown family %q", s.Name, s.Family)
+		}
+		// Every knob must be pinned: a zero field would fall through to the
+		// graded value and the preset would stop being self-contained data.
+		k := s.PresetKnobs
+		if k.ObstacleDensity == 0 || k.ClutterScale == 0 || k.DynamicCount == 0 || k.DynamicSpeed == 0 || k.ExtentScale == 0 {
+			t.Errorf("frontier preset %s has an unset knob: %+v", s.Name, k)
+		}
+		if s.Knobs() != k {
+			t.Errorf("frontier preset %s effective knobs %+v differ from its pinned vector %+v", s.Name, s.Knobs(), k)
+		}
+		got, ok := LookupScenario(s.Name)
+		if !ok || got.PresetKnobs != k {
+			t.Errorf("catalog lookup of %s lost the pinned vector", s.Name)
 		}
 	}
 }

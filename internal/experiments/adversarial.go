@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"mavbench/pkg/mavbench"
+)
+
+// This file is the adversarial scenario-search experiment: instead of grading
+// difficulty along the hand-picked sparse→dense axis (difficulty.go), it lets
+// the search engine hunt the knob space for the environments where a compute
+// operating point actually breaks down. Run at the weakest and strongest
+// operating points it measures the paper's compute↔safety cliff from the
+// other side: how hard a world each compute budget can survive. The shipped
+// urban-frontier-* scenario presets were produced by exactly this procedure
+// (at a larger budget; see docs/SCENARIOS.md for the exact reproduction
+// command).
+
+// AdversarialRow is one generation of one operating point's search.
+type AdversarialRow struct {
+	Workload   string
+	Cores      int
+	FreqGHz    float64
+	Generation int
+	// BestScore / MeanScore summarize the generation (objective:
+	// quality-of-flight degradation, higher = more adversarial); generation 0
+	// is the uniform random init the refinements must improve on.
+	BestScore float64
+	MeanScore float64
+	// Best describes the generation's top candidate.
+	Best mavbench.FrontierCandidate
+}
+
+// AdversarialSearch runs the scenario search for the workload at the scale's
+// weakest and strongest compute operating points and tabulates both
+// trajectories. The budget is deliberately small (it is the experiment
+// harness, not the preset-discovery pipeline): (2+1) generations × 6
+// candidates × the scale's repeats per operating point. Deterministic per
+// (scale, workload, seed).
+func AdversarialSearch(sc Scale, workload string, seed int64) ([]AdversarialRow, Table, error) {
+	weak, strong := weakestStrongest(sc)
+	points := []mavbench.OperatingPoint{weak, strong}
+	if weak == strong {
+		points = points[:1]
+	}
+
+	var rows []AdversarialRow
+	var frontiers []*mavbench.Frontier
+	for _, pt := range points {
+		f, err := mavbench.SearchFrontier(context.Background(), mavbench.SearchRequest{
+			Workload:        workload,
+			Cores:           pt.Cores,
+			FreqGHz:         pt.FreqGHz,
+			Seed:            seed,
+			Objective:       mavbench.SearchQoF,
+			Generations:     2,
+			Population:      6,
+			Repeats:         sc.Repeats,
+			WorldScale:      sc.WorldScale,
+			MaxMissionTimeS: sc.MaxMissionTimeS,
+			Workers:         sc.Workers,
+		})
+		if err != nil {
+			return nil, Table{}, fmt.Errorf("adversarial search at %dx%.1f: %w", pt.Cores, pt.FreqGHz, err)
+		}
+		frontiers = append(frontiers, f)
+		for _, g := range f.Generations {
+			rows = append(rows, AdversarialRow{
+				Workload:   workload,
+				Cores:      pt.Cores,
+				FreqGHz:    pt.FreqGHz,
+				Generation: g.Index,
+				BestScore:  g.BestScore,
+				MeanScore:  g.MeanScore,
+				Best:       g.Best,
+			})
+		}
+	}
+
+	tbl := Table{
+		Title: fmt.Sprintf("Adversarial scenario search: %s — how hard a world each operating point survives", workload),
+		Columns: []string{"cores", "freq_ghz", "gen", "best_score", "mean_score",
+			"obstacle_density", "clutter", "dyn_count", "dyn_speed", "calibrated_difficulty", "success_rate"},
+		Notes: "objective = quality-of-flight degradation (collision rate + failure fraction + velocity drop); gen 0 is the uniform random init",
+	}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(r.Cores), f1(r.FreqGHz), fmt.Sprint(r.Generation), f2(r.BestScore), f2(r.MeanScore),
+			f3(r.Best.Knobs.ObstacleDensity), f3(r.Best.Knobs.ClutterScale),
+			f3(r.Best.Knobs.DynamicCount), f3(r.Best.Knobs.DynamicSpeed),
+			f2(r.Best.CalibratedDifficulty), f2(r.Best.SuccessRate),
+		})
+	}
+	if len(frontiers) == 2 {
+		tbl.Notes += fmt.Sprintf("; frontier difficulty %s@%dx%.1f=%.2f vs %s@%dx%.1f=%.2f",
+			"weak", points[0].Cores, points[0].FreqGHz, frontiers[0].Best.CalibratedDifficulty,
+			"strong", points[1].Cores, points[1].FreqGHz, frontiers[1].Best.CalibratedDifficulty)
+	}
+	return rows, tbl, nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+
+	"mavbench/internal/compute"
+	"mavbench/pkg/mavbench"
+)
+
+func TestAdversarialSearchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := Scale{
+		WorldScale:      0.3,
+		MaxMissionTimeS: 240,
+		Repeats:         1,
+		OperatingPoints: []mavbench.OperatingPoint{{Cores: 2, FreqGHz: compute.TX2FreqLowGHz}},
+	}
+	rows, tbl, err := AdversarialSearch(sc, "package_delivery", 20260808)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One operating point × (2 refinement generations + the random init).
+	if want := 3; len(rows) != want || len(tbl.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for i, r := range rows {
+		if r.Generation != i {
+			t.Errorf("row %d generation = %d", i, r.Generation)
+		}
+		if r.Cores != 2 {
+			t.Errorf("row %d ran at %d cores, want the scale's weakest point", i, r.Cores)
+		}
+		if r.BestScore < r.MeanScore {
+			t.Errorf("row %d best %v below its generation mean %v", i, r.BestScore, r.MeanScore)
+		}
+		if r.Best.Knobs.ObstacleDensity == 0 {
+			t.Errorf("row %d best candidate has no knob vector", i)
+		}
+	}
+
+	again, _, err := AdversarialSearch(sc, "package_delivery", 20260808)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Errorf("row %d not deterministic:\n%+v\n%+v", i, rows[i], again[i])
+		}
+	}
+}

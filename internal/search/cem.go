@@ -1,0 +1,206 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Objective scores a batch of candidate vectors (higher is better). The whole
+// generation arrives as one batch so implementations can evaluate it as a
+// single campaign — inheriting the result store, world cache and fleet
+// sharding of the campaign engine. Returned scores must align with the batch
+// by index.
+type Objective func(ctx context.Context, batch [][]float64) ([]float64, error)
+
+// Config parameterizes the cross-entropy optimizer.
+type Config struct {
+	// Space bounds sampling; every candidate is clamped and quantized into it.
+	Space Space
+	// Population is the number of candidates per generation (default 8).
+	Population int
+	// Elites is how many top candidates refit the sampling distribution
+	// (default max(2, Population/4)).
+	Elites int
+	// Generations is the number of generations after the uniform random
+	// initialization generation (default 3). Total evaluations are
+	// (Generations+1) × Population.
+	Generations int
+	// Seed drives all sampling; the same seed and budget reproduce the run
+	// byte-for-byte.
+	Seed int64
+	// InitStdFrac is the refit floor applied to the first elite fit, as a
+	// fraction of each dimension's width (default 0.25): it keeps the second
+	// generation exploring even when the random init's elites happen to
+	// cluster.
+	InitStdFrac float64
+	// MinStdFrac floors the sampling std in every later generation (default
+	// 0.02 of the dimension width), so the search never collapses to a point
+	// and re-sampling a generation stays meaningful.
+	MinStdFrac float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Population <= 0 {
+		c.Population = 8
+	}
+	if c.Elites <= 0 {
+		c.Elites = c.Population / 4
+		if c.Elites < 2 {
+			c.Elites = 2
+		}
+	}
+	if c.Elites > c.Population {
+		c.Elites = c.Population
+	}
+	if c.Generations <= 0 {
+		c.Generations = 3
+	}
+	if c.InitStdFrac <= 0 {
+		c.InitStdFrac = 0.25
+	}
+	if c.MinStdFrac <= 0 {
+		c.MinStdFrac = 0.02
+	}
+	return c
+}
+
+// Candidate is one evaluated knob vector.
+type Candidate struct {
+	Vector []float64 `json:"vector"`
+	Score  float64   `json:"score"`
+}
+
+// Generation summarizes one optimizer generation. Generation 0 is the uniform
+// random initialization; its statistics are the baseline an adversarial
+// search must beat.
+type Generation struct {
+	Index int `json:"index"`
+	// Mean and Std are the sampling distribution the NEXT generation draws
+	// from (refit on this generation's elites).
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+	// Best is this generation's top candidate; MeanScore averages the whole
+	// generation.
+	Best      Candidate `json:"best"`
+	MeanScore float64   `json:"mean_score"`
+}
+
+// Result is the optimizer's full trajectory.
+type Result struct {
+	// Best is the highest-scoring candidate across every generation (ties
+	// keep the earliest).
+	Best        Candidate    `json:"best"`
+	Generations []Generation `json:"generations"`
+	Evaluations int          `json:"evaluations"`
+}
+
+// Maximize runs the deterministic cross-entropy method over cfg.Space:
+// generation 0 samples uniformly, each later generation samples a Gaussian
+// refit on the previous generation's elites. It is the paper's
+// compute↔safety tradeoff turned into an optimization loop — the objective
+// is typically "collisions at a fixed operating point", so the maximizer
+// walks toward the environments where that operating point breaks down.
+func Maximize(ctx context.Context, cfg Config, obj Objective) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Space.Validate(); err != nil {
+		return Result{}, err
+	}
+	if obj == nil {
+		return Result{}, fmt.Errorf("search: nil objective")
+	}
+	dims := cfg.Space.Dims
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var res Result
+	mean := make([]float64, len(dims))
+	std := make([]float64, len(dims))
+	haveBest := false
+
+	for gen := 0; gen <= cfg.Generations; gen++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		// Sample the generation. Sampling order is fixed (candidate-major,
+		// dimension-minor), so the stream of rng draws — and therefore the
+		// whole run — is a pure function of (seed, budget, space).
+		batch := make([][]float64, cfg.Population)
+		for i := range batch {
+			v := make([]float64, len(dims))
+			for d := range dims {
+				if gen == 0 {
+					v[d] = dims[d].Min + rng.Float64()*(dims[d].Max-dims[d].Min)
+				} else {
+					v[d] = mean[d] + rng.NormFloat64()*std[d]
+				}
+			}
+			batch[i] = cfg.Space.Clamp(v)
+		}
+
+		scores, err := obj(ctx, batch)
+		if err != nil {
+			return res, err
+		}
+		if len(scores) != len(batch) {
+			return res, fmt.Errorf("search: objective returned %d scores for %d candidates", len(scores), len(batch))
+		}
+		res.Evaluations += len(batch)
+
+		// Rank by score, index as the tiebreak, so elite selection never
+		// depends on sort internals.
+		order := make([]int, len(batch))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ia, ib := order[a], order[b]
+			if scores[ia] != scores[ib] {
+				return scores[ia] > scores[ib]
+			}
+			return ia < ib
+		})
+
+		g := Generation{
+			Index: gen,
+			Best:  Candidate{Vector: batch[order[0]], Score: scores[order[0]]},
+		}
+		for _, s := range scores {
+			g.MeanScore += s
+		}
+		g.MeanScore /= float64(len(scores))
+		if !haveBest || g.Best.Score > res.Best.Score {
+			res.Best = g.Best
+			haveBest = true
+		}
+
+		// Refit the sampling distribution on the elites.
+		elite := order[:cfg.Elites]
+		for d := range dims {
+			m := 0.0
+			for _, i := range elite {
+				m += batch[i][d]
+			}
+			m /= float64(len(elite))
+			v := 0.0
+			for _, i := range elite {
+				v += (batch[i][d] - m) * (batch[i][d] - m)
+			}
+			sd := math.Sqrt(v / float64(len(elite)))
+			width := dims[d].Max - dims[d].Min
+			floor := cfg.MinStdFrac * width
+			if gen == 0 {
+				floor = cfg.InitStdFrac * width
+			}
+			if sd < floor {
+				sd = floor
+			}
+			mean[d], std[d] = m, sd
+		}
+		g.Mean = append([]float64(nil), mean...)
+		g.Std = append([]float64(nil), std...)
+		res.Generations = append(res.Generations, g)
+	}
+	return res, nil
+}

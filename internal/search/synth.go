@@ -1,0 +1,182 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mavbench/internal/core"
+	"mavbench/internal/env"
+	"mavbench/internal/geom"
+)
+
+// This file is the procedural-synthesis half of the engine: sample knob
+// vectors and generator seeds under box constraints, then calibrate each
+// sample's *effective* difficulty by probing the world it builds. Raw knob
+// multipliers are not comparable across families — obstacle_density 2 turns
+// the urban grid into a maze but barely dents the open farm — so synthesized
+// scenarios carry a calibrated difficulty on the same [-1, +1] scale as the
+// hand-graded presets: -1 ≡ the family's sparse anchor, +1 ≡ its dense
+// anchor, measured by world obstruction rather than promised by the knobs.
+
+// probeScale is the world scale calibration probes are built at: small enough
+// to stay cheap, large enough that density structure survives discretization.
+const probeScale = 0.4
+
+// probeGrid is the obstruction lattice resolution per horizontal axis.
+const probeGrid = 24
+
+// probeLayers is the number of altitude layers probed (the band a MAV
+// actually flies through).
+const probeLayers = 4
+
+// probeClearance is the clearance radius (meters) a lattice point must have
+// to count as free — roughly the vehicle's safety bubble.
+const probeClearance = 0.75
+
+// Obstruction measures how blocked a family world is under the given knobs: a
+// deterministic lattice probe returning the blocked fraction of flight-band
+// sample points plus a small dynamic-load term (moving obstacles × speed).
+// Equal inputs always return the exact same value; no RNG is consumed.
+func Obstruction(family string, seed int64, k env.Knobs) (float64, error) {
+	w, err := env.BuildFamilyWorld(family, seed, probeScale, k)
+	if err != nil {
+		return 0, err
+	}
+	b := w.Bounds
+	size := b.Size()
+	blocked, total := 0, 0
+	for iz := 0; iz < probeLayers; iz++ {
+		// Probe the lower flight band (up to ~40% of world height): that is
+		// where buildings, walls, rubble and trees actually contest the path.
+		z := b.Min.Z + size.Z*0.4*(float64(iz)+0.5)/float64(probeLayers)
+		for iy := 0; iy < probeGrid; iy++ {
+			y := b.Min.Y + size.Y*(float64(iy)+0.5)/float64(probeGrid)
+			for ix := 0; ix < probeGrid; ix++ {
+				x := b.Min.X + size.X*(float64(ix)+0.5)/float64(probeGrid)
+				total++
+				if w.Occupied(geom.V3(x, y, z), probeClearance) {
+					blocked++
+				}
+			}
+		}
+	}
+	obstruction := float64(blocked) / float64(total)
+	// Dynamic load: moving obstacles contest the path even where the static
+	// lattice is free. Normalize per 10 obstacle·m/s so a handful of urban
+	// vehicles lands in the same order of magnitude as a few percent of
+	// static obstruction.
+	dyn := 0.0
+	for _, o := range w.Obstacles() {
+		if o.IsDynamic() {
+			dyn += o.Speed
+		}
+	}
+	return obstruction + dyn/10*0.01, nil
+}
+
+// Calibrator normalizes obstruction measurements of one family against its
+// graded sparse/dense anchors, so synthesized difficulties are comparable
+// across families.
+type Calibrator struct {
+	family         string
+	seed           int64
+	sparse, dense  float64
+	degenerateSpan bool
+}
+
+// NewCalibrator probes the family's sparse and dense anchors at the given
+// generator seed.
+func NewCalibrator(family string, seed int64) (*Calibrator, error) {
+	sparse, err := Obstruction(family, seed, env.GradeKnobs(env.MinDifficulty))
+	if err != nil {
+		return nil, err
+	}
+	dense, err := Obstruction(family, seed, env.GradeKnobs(env.MaxDifficulty))
+	if err != nil {
+		return nil, err
+	}
+	c := &Calibrator{family: family, seed: seed, sparse: sparse, dense: dense}
+	// A family whose grading has no measurable effect ("empty") cannot be
+	// calibrated; report the default difficulty for every knob set.
+	c.degenerateSpan = dense-sparse < 1e-6
+	return c, nil
+}
+
+// Difficulty maps a knob set to its calibrated difficulty: the obstruction of
+// the world it builds, linearly normalized so the family's sparse anchor is
+// -1 and its dense anchor +1. Values beyond the anchors extrapolate and are
+// clamped to [-2, +2] — "twice as far past dense as dense is past default" is
+// as much resolution as the probe supports.
+func (c *Calibrator) Difficulty(k env.Knobs) (float64, error) {
+	if c.degenerateSpan {
+		return 0, nil
+	}
+	m, err := Obstruction(c.family, c.seed, k)
+	if err != nil {
+		return 0, err
+	}
+	d := -1 + 2*(m-c.sparse)/(c.dense-c.sparse)
+	if d < -2 {
+		d = -2
+	}
+	if d > 2 {
+		d = 2
+	}
+	return Quantize(d), nil
+}
+
+// Synthesized is one procedurally generated scenario: a family, a generator
+// seed, a knob vector and the calibrated difficulty of the world they build.
+type Synthesized struct {
+	Family     string    `json:"family"`
+	Seed       int64     `json:"seed"`
+	Knobs      env.Knobs `json:"knobs"`
+	Difficulty float64   `json:"difficulty"`
+}
+
+// Synthesize samples n scenarios for the family: knob vectors drawn uniformly
+// from the space (quantized, constraint-clamped) paired with generator seeds
+// derived via core.DeriveSeed, each calibrated against the family's anchors.
+// The band, when non-nil, keeps only samples whose calibrated difficulty
+// falls inside [band[0], band[1]] — sampling continues (bounded) until n
+// survivors exist or the attempt budget runs out. Deterministic per
+// (family, baseSeed, n, space, band).
+func Synthesize(family string, baseSeed int64, n int, space Space, band *[2]float64) ([]Synthesized, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if band != nil && band[0] > band[1] {
+		return nil, fmt.Errorf("search: difficulty band [%g, %g] is empty", band[0], band[1])
+	}
+	cal, err := NewCalibrator(family, baseSeed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(baseSeed))
+	var out []Synthesized
+	maxAttempts := n * 32
+	for attempt := 0; attempt < maxAttempts && len(out) < n; attempt++ {
+		v := make([]float64, len(space.Dims))
+		for d := range space.Dims {
+			v[d] = space.Dims[d].Min + rng.Float64()*(space.Dims[d].Max-space.Dims[d].Min)
+		}
+		k := KnobsFromVector(space.Clamp(v))
+		seed := core.DeriveSeed(baseSeed, "synth:"+family, 0, 0, attempt)
+		d, err := cal.Difficulty(k)
+		if err != nil {
+			return nil, err
+		}
+		if band != nil && (d < band[0] || d > band[1]) {
+			continue
+		}
+		out = append(out, Synthesized{Family: family, Seed: seed, Knobs: k, Difficulty: d})
+	}
+	if band != nil && len(out) < n {
+		return out, fmt.Errorf("search: only %d of %d synthesized scenarios fell in difficulty band [%g, %g] after %d samples",
+			len(out), n, band[0], band[1], maxAttempts)
+	}
+	return out, nil
+}

@@ -85,8 +85,21 @@ func TestScenarioCanonicalizationAndHash(t *testing.T) {
 
 func TestScenarioCatalogListing(t *testing.T) {
 	infos := Scenarios()
-	if len(infos) != len(ScenarioFamilies())*3 {
-		t.Fatalf("catalog has %d entries for %d families", len(infos), len(ScenarioFamilies()))
+	frontier := FrontierScenarios()
+	if len(infos) != len(ScenarioFamilies())*3+len(frontier) {
+		t.Fatalf("catalog has %d entries for %d families and %d frontier presets",
+			len(infos), len(ScenarioFamilies()), len(frontier))
+	}
+	if len(frontier) < 2 {
+		t.Fatalf("expected at least 2 frontier presets, got %d", len(frontier))
+	}
+	for _, info := range frontier {
+		if info.Grade != "frontier" {
+			t.Errorf("frontier preset %q has grade %q", info.Name, info.Grade)
+		}
+		if info.Knobs == nil {
+			t.Errorf("frontier preset %q does not expose its pinned knob vector", info.Name)
+		}
 	}
 	for _, info := range infos {
 		if info.Name == "" || info.Family == "" || info.Grade == "" || info.Description == "" {

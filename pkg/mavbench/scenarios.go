@@ -5,34 +5,66 @@ import (
 )
 
 // ScenarioInfo describes one entry of the scenario catalog: an environment
-// family at a graded difficulty.
+// family at a graded difficulty, or a frontier preset discovered by the
+// adversarial scenario search.
 type ScenarioInfo struct {
 	// Name is the catalog key ("urban-dense"), the value WithScenario takes.
 	Name string `json:"name"`
 	// Family is the environment generator ("urban", "indoor", "farm",
 	// "disaster", "park", "empty").
 	Family string `json:"family"`
-	// Grade is the preset tier ("sparse", "default", "dense").
+	// Grade is the preset tier ("sparse", "default", "dense"), or "frontier"
+	// for presets discovered by the adversarial scenario search.
 	Grade string `json:"grade"`
-	// Difficulty is the grade's position on the continuous [-1, 1] scale.
+	// Difficulty is the grade's position on the continuous [-1, 1] scale
+	// (frontier presets carry their calibrated difficulty, which may
+	// extrapolate past +1).
 	Difficulty float64 `json:"difficulty"`
+	// Knobs, for frontier presets, is the pinned knob vector the search
+	// converged to; nil for the graded tiers (their knobs follow from
+	// Difficulty).
+	Knobs *ScenarioKnobs `json:"knobs,omitempty"`
 	// Description is a one-line human-readable summary.
 	Description string `json:"description"`
 }
 
+func scenarioInfo(s env.Scenario) ScenarioInfo {
+	info := ScenarioInfo{
+		Name:        s.Name,
+		Family:      s.Family,
+		Grade:       s.Grade,
+		Difficulty:  s.Difficulty,
+		Description: s.Description,
+	}
+	if !s.PresetKnobs.IsZero() {
+		k := knobsFromEnv(s.PresetKnobs)
+		info.Knobs = &k
+	}
+	return info
+}
+
 // Scenarios returns the full scenario catalog, sorted by name: every
-// environment family at its sparse, default and dense grades.
+// environment family at its sparse, default and dense grades, plus the
+// frontier presets discovered by the adversarial scenario search.
 func Scenarios() []ScenarioInfo {
 	cat := env.ScenarioCatalog()
 	out := make([]ScenarioInfo, len(cat))
 	for i, s := range cat {
-		out[i] = ScenarioInfo{
-			Name:        s.Name,
-			Family:      s.Family,
-			Grade:       s.Grade,
-			Difficulty:  s.Difficulty,
-			Description: s.Description,
-		}
+		out[i] = scenarioInfo(s)
+	}
+	return out
+}
+
+// FrontierScenarios returns the catalog's frontier presets — scenarios
+// discovered by the adversarial scenario search, each pinning the knob vector
+// that maximized the search objective at a named compute operating point —
+// sorted by name. See docs/SCENARIOS.md for the method and how to reproduce a
+// preset.
+func FrontierScenarios() []ScenarioInfo {
+	cat := env.FrontierScenarios()
+	out := make([]ScenarioInfo, len(cat))
+	for i, s := range cat {
+		out[i] = scenarioInfo(s)
 	}
 	return out
 }

@@ -1,0 +1,201 @@
+package mavbench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSearchRequestDefaultsAndValidation(t *testing.T) {
+	r := SearchRequest{Workload: "package_delivery"}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("default request invalid: %v", err)
+	}
+	// Defaults: (3+1 generations) × 8 candidates × 2 repeats + 2 baseline.
+	if got, want := r.TotalRuns(), 4*8*2+2; got != want {
+		t.Errorf("TotalRuns = %d, want %d", got, want)
+	}
+
+	cases := []struct {
+		name string
+		req  SearchRequest
+		want string
+	}{
+		{"unknown objective", SearchRequest{Workload: "package_delivery", Objective: "speed"}, "objective"},
+		{"unknown family", SearchRequest{Workload: "package_delivery", Family: "lunar"}, "family"},
+		{"elites exceed population", SearchRequest{Workload: "package_delivery", Population: 4, Elites: 8}, "elites"},
+		{"unknown workload", SearchRequest{Workload: "no_such_workload", Family: "urban"}, "workload"},
+	}
+	for _, tc := range cases {
+		err := tc.req.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// fakeSearchRunner scores candidates from a closed-form function of their
+// knobs — no simulation — while recording every batch it sees.
+type fakeSearchRunner struct {
+	batches [][]Spec
+}
+
+func (f *fakeSearchRunner) run(_ context.Context, specs []Spec) ([]Result, error) {
+	f.batches = append(f.batches, specs)
+	results := make([]Result, len(specs))
+	for i, spec := range specs {
+		k := spec.ScenarioKnobs
+		if k == nil {
+			return nil, fmt.Errorf("spec %d has no scenario knobs", i)
+		}
+		// More obstacles and faster traffic → more collisions, lower speed.
+		hostility := k.ObstacleDensity + k.DynamicSpeed
+		results[i] = Result{
+			Index:    i,
+			Spec:     spec,
+			SpecHash: spec.Hash(),
+		}
+		results[i].Report.MissionTimeS = 60
+		results[i].Report.AverageSpeed = 5 - hostility
+		results[i].Report.Success = hostility < 4
+		results[i].Report.Counters = map[string]float64{"collisions": hostility}
+	}
+	return results, nil
+}
+
+func TestSearchFrontierWithInjectedRunner(t *testing.T) {
+	req := SearchRequest{
+		Workload:    "package_delivery",
+		Cores:       2,
+		FreqGHz:     0.8,
+		Seed:        42,
+		Generations: 2,
+		Population:  5,
+		Repeats:     2,
+	}
+	runner := &fakeSearchRunner{}
+	f, err := SearchFrontier(context.Background(), req, WithSearchRunner(runner.run))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch shape: one baseline batch of Repeats specs, then one batch of
+	// Population×Repeats specs per generation (random init + refinements).
+	if got, want := len(runner.batches), 1+req.Generations+1; got != want {
+		t.Fatalf("runner saw %d batches, want %d", got, want)
+	}
+	if got := len(runner.batches[0]); got != req.Repeats {
+		t.Errorf("baseline batch has %d specs, want %d", got, req.Repeats)
+	}
+	for gi, batch := range runner.batches[1:] {
+		if got, want := len(batch), req.Population*req.Repeats; got != want {
+			t.Errorf("generation %d batch has %d specs, want %d", gi, got, want)
+		}
+		// Repeats share derived seeds across candidates so scores compare
+		// paired missions, and every spec pins the requested operating point.
+		for i, spec := range batch {
+			rep := i % req.Repeats
+			if want := DeriveSeed(req.Seed, req.Workload, req.Cores, req.FreqGHz, rep); spec.Seed != want {
+				t.Fatalf("generation %d spec %d seed = %d, want derived %d", gi, i, spec.Seed, want)
+			}
+			if spec.Cores != req.Cores || spec.FreqGHz != req.FreqGHz {
+				t.Fatalf("generation %d spec %d runs at %dx%g, want %dx%g",
+					gi, i, spec.Cores, spec.FreqGHz, req.Cores, req.FreqGHz)
+			}
+			if spec.Scenario != "urban-default" {
+				t.Fatalf("generation %d spec %d scenario = %q, want urban-default", gi, i, spec.Scenario)
+			}
+		}
+	}
+
+	if got, want := f.TotalRuns, (req.Generations+1)*req.Population*req.Repeats+req.Repeats; got != want {
+		t.Errorf("TotalRuns = %d, want %d", got, want)
+	}
+	if len(f.Generations) != req.Generations+1 {
+		t.Fatalf("frontier has %d generations, want %d", len(f.Generations), req.Generations+1)
+	}
+	// The fake objective is maximized at the obstacle_density/dynamic_speed
+	// corner; the search must improve on the random init and report a best
+	// dominating every generation.
+	if f.Best.Score < f.Generations[0].BestScore {
+		t.Errorf("best %v below random-init best %v", f.Best.Score, f.Generations[0].BestScore)
+	}
+	last := f.Generations[len(f.Generations)-1]
+	if last.MeanScore <= f.Generations[0].MeanScore {
+		t.Errorf("population did not concentrate: init mean %v, final mean %v",
+			f.Generations[0].MeanScore, last.MeanScore)
+	}
+	if f.Baseline.Knobs.ObstacleDensity != 1 || f.Baseline.SuccessRate != 1 {
+		t.Errorf("baseline malformed: %+v", f.Baseline)
+	}
+
+	// Determinism: the same request over the same runner yields a
+	// byte-identical frontier.
+	again, err := SearchFrontier(context.Background(), req, WithSearchRunner((&fakeSearchRunner{}).run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(f)
+	b, _ := json.Marshal(again)
+	if string(a) != string(b) {
+		t.Errorf("same request produced different frontiers:\n%s\n%s", a, b)
+	}
+}
+
+func TestSearchFrontierSurfacesRunErrors(t *testing.T) {
+	broken := func(_ context.Context, specs []Spec) ([]Result, error) {
+		results := make([]Result, len(specs))
+		for i := range results {
+			results[i] = Result{Index: i, Error: "engine exploded"}
+		}
+		return results, nil
+	}
+	_, err := SearchFrontier(context.Background(), SearchRequest{Workload: "package_delivery"},
+		WithSearchRunner(broken))
+	if err == nil || !strings.Contains(err.Error(), "engine exploded") {
+		t.Errorf("erroring runs not surfaced: %v", err)
+	}
+
+	short := func(context.Context, []Spec) ([]Result, error) { return nil, nil }
+	_, err = SearchFrontier(context.Background(), SearchRequest{Workload: "package_delivery"},
+		WithSearchRunner(short))
+	if err == nil {
+		t.Error("short result batch not rejected")
+	}
+}
+
+// TestSearchFrontierSimulatedDeterminism runs a real (tiny) search twice on
+// the simulation engine and requires byte-identical frontiers — the same
+// contract the nightly scenario-search workflow pins at a larger budget.
+func TestSearchFrontierSimulatedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	req := SearchRequest{
+		Workload:    "package_delivery",
+		Cores:       2,
+		FreqGHz:     0.8,
+		Seed:        7,
+		Objective:   SearchQoF,
+		Generations: 1,
+		Population:  3,
+		Repeats:     1,
+	}
+	run := func() []byte {
+		f, err := SearchFrontier(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("simulated search not deterministic:\n%s\n%s", a, b)
+	}
+}

@@ -7,6 +7,7 @@
 //	GET  /v1/campaigns/{id}            campaign status summary
 //	GET  /v1/campaigns/{id}/results    stream results as NDJSON, as they complete
 //	POST /v1/run                       run a spec batch, streaming NDJSON on the request
+//	POST /v1/search                    adversarial scenario search at one operating point (synchronous; body = SearchRequest, response = Frontier)
 //	GET  /v1/workloads                 registered workloads and valid knob values
 //	GET  /v1/scenarios                 the difficulty-graded scenario catalog
 //	GET  /v1/specs/{hash}              canonical spec for a known content address
@@ -85,6 +86,11 @@ type Config struct {
 	// MaxCampaignSpecs caps the number of specs accepted per submission
 	// (0 = default 1024).
 	MaxCampaignSpecs int
+	// MaxSearchRuns caps the total missions one POST /v1/search may
+	// simulate — its resolved budget, (generations+1) × population ×
+	// repeats + repeats — since the search endpoint is synchronous
+	// (0 = default 2048).
+	MaxSearchRuns int
 	// MaxCampaigns caps how many campaigns (with their results and spec
 	// index entries) the server retains; the oldest are evicted first and
 	// their ids return 404 afterwards (0 = default 256). This bounds the
@@ -392,6 +398,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v1/specs/{hash}", s.handleSpec)
@@ -790,6 +797,76 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// flush keeps the no-results path (empty stream) honest too.
 		flusher.Flush()
 	}
+}
+
+// handleSearch is the adversarial scenario-search endpoint (POST /v1/search):
+// the body is a mavbench.SearchRequest, the response the found
+// mavbench.Frontier. The search runs synchronously on the request — its
+// budget is bounded by Config.MaxSearchRuns, and the client disconnecting
+// cancels it. Candidate batches execute through the same path as campaigns:
+// sharded across the fleet when dispatchable workers are registered, on the
+// local engine (result store and world cache included) otherwise, so a found
+// frontier is identical either way.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req mavbench.SearchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	if err := req.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	maxRuns := s.cfg.MaxSearchRuns
+	if maxRuns <= 0 {
+		maxRuns = 2048
+	}
+	if runs := req.TotalRuns(); runs > maxRuns {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("search budget is %d runs, limit is %d (shrink generations, population or repeats)", runs, maxRuns))
+		return
+	}
+	req.Workers = s.cfg.Workers
+
+	runner := func(ctx context.Context, specs []mavbench.Spec) ([]mavbench.Result, error) {
+		var stream <-chan mavbench.Result
+		if s.fleet.DispatchableCount() > 0 {
+			stream = s.coord.StreamJob(ctx, specs, distrib.JobOptions{})
+		} else {
+			eng := mavbench.NewCampaign(specs...).SetWorkers(s.cfg.Workers).SetWorldCache(s.worldCache)
+			if s.cache != nil {
+				eng.SetStore(s.cache)
+			}
+			stream = eng.Stream(ctx)
+		}
+		out := make([]mavbench.Result, len(specs))
+		n := 0
+		for res := range stream {
+			if res.Index < 0 || res.Index >= len(specs) {
+				return nil, fmt.Errorf("search batch returned result index %d for %d specs", res.Index, len(specs))
+			}
+			out[res.Index] = res
+			n++
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if n != len(specs) {
+			return nil, fmt.Errorf("search batch returned %d results for %d specs", n, len(specs))
+		}
+		return out, nil
+	}
+
+	frontier, err := mavbench.SearchFrontier(r.Context(), req, mavbench.WithSearchRunner(runner))
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing useful to write
+		}
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, frontier)
 }
 
 // fleetAuthorized enforces Config.FleetToken on the worker-registry

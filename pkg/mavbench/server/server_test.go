@@ -297,14 +297,15 @@ func TestScenariosEndpoint(t *testing.T) {
 	ts := startServer(t)
 	var sr scenariosResponse
 	getJSON(t, ts, "/v1/scenarios", &sr)
-	if len(sr.Families) != 6 || len(sr.Scenarios) != len(sr.Families)*3 {
+	// 3 grades per family plus the search-discovered frontier presets.
+	if len(sr.Families) != 6 || len(sr.Scenarios) < len(sr.Families)*3+2 {
 		t.Fatalf("catalog incomplete: %d families, %d scenarios", len(sr.Families), len(sr.Scenarios))
 	}
 	names := map[string]bool{}
 	for _, s := range sr.Scenarios {
 		names[s.Name] = true
 	}
-	for _, want := range []string{"urban-sparse", "urban-dense", "farm-default", "indoor-dense"} {
+	for _, want := range []string{"urban-sparse", "urban-dense", "farm-default", "indoor-dense", "urban-frontier-weak", "urban-frontier-strong"} {
 		if !names[want] {
 			t.Errorf("scenario %s missing from catalog", want)
 		}

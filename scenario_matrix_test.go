@@ -63,8 +63,17 @@ func matrixSpecs(t testing.TB) ([]matrixCell, []mavbench.Spec) {
 		if !ok {
 			t.Fatalf("workload %s has no home family registered in the matrix harness", info.Name)
 		}
-		for _, grade := range []string{"sparse", "default", "dense"} {
-			scenario := family + "-" + grade
+		names := []string{family + "-sparse", family + "-default", family + "-dense"}
+		// Frontier presets discovered by the adversarial scenario search join
+		// the workload's home-family column, so their pinned knob vectors are
+		// exercised by the same zero-failed-runs and stable-hash gates as the
+		// graded tiers.
+		for _, frontier := range mavbench.FrontierScenarios() {
+			if frontier.Family == family {
+				names = append(names, frontier.Name)
+			}
+		}
+		for _, scenario := range names {
 			spec, err := mavbench.NewSpec(info.Name,
 				mavbench.WithScenario(scenario),
 				mavbench.WithSeed(1234),
