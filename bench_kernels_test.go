@@ -436,7 +436,7 @@ func TestEmitBenchJSON(t *testing.T) {
 		})
 	}
 	writeBenchFile(t, "BENCH_sweep.json", "sweep",
-		"End-to-end golden campaign (22 missions across all five workloads plus kernel-stressing variants) wall time, best of 3 passes, sequential vs one worker per CPU.",
+		"End-to-end golden campaign (24 missions across all five workloads plus kernel-stressing variants) wall time, best of 3 passes, sequential vs one worker per CPU.",
 		sweepEntries)
 }
 

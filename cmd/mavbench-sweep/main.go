@@ -70,6 +70,7 @@ func run(cpuprofile, memprofile *string) int {
 	coresList := flag.String("cores", "", "comma-separated core counts to sweep (default: all paper points)")
 	freqList := flag.String("freqs", "", "comma-separated frequencies in GHz to sweep (default: all paper points)")
 	scenario := flag.String("scenario", "", "difficulty-graded scenario from the catalog (e.g. urban-dense; bare family = its default grade)")
+	vehicles := flag.Int("vehicles", 1, "drones per mission (1 = classic single-drone; N>1 sweeps coordinated fleet runs)")
 	difficulty := flag.String("difficulty", "", "comma-separated continuous difficulties in [-1, 1] to sweep (empty = the scenario's grade)")
 	apiKey := flag.String("api-key", "", "tenant API key for a multi-tenant coordinator (sent as X-API-Key; requires -remote)")
 	priority := flag.Int("priority", 0, "campaign priority 0-8 on a fleet coordinator, clamped to the tenant's ceiling (requires -remote)")
@@ -127,6 +128,10 @@ func run(cpuprofile, memprofile *string) int {
 			fmt.Fprintln(os.Stderr, "mavbench-sweep: -search composes with neither -difficulty nor -stream")
 			return 2
 		}
+		if *vehicles > 1 {
+			fmt.Fprintln(os.Stderr, "mavbench-sweep: -search probes single-drone missions; -vehicles does not compose with it")
+			return 2
+		}
 		family, err := searchFamily(*scenario)
 		if err != nil {
 			return fail(err)
@@ -182,6 +187,9 @@ func run(cpuprofile, memprofile *string) int {
 	}
 	if *scenario != "" {
 		opts = append(opts, mavbench.WithScenario(*scenario))
+	}
+	if *vehicles > 1 {
+		opts = append(opts, mavbench.WithVehicles(*vehicles))
 	}
 	base, err := mavbench.NewSpec(*workload, opts...)
 	if err != nil {

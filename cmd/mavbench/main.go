@@ -41,6 +41,7 @@ func main() {
 	listScenarios := flag.Bool("list-scenarios", false, "list the scenario catalog and exit")
 	worldScale := flag.Float64("world-scale", 1.0, "scale factor for the environment extent")
 	maxTime := flag.Float64("max-mission-time", 0, "mission time limit in seconds (0 = workload default)")
+	vehicles := flag.Int("vehicles", 1, "number of drones flying the mission together (1 = classic single-drone run)")
 	csv := flag.Bool("csv", false, "print a CSV row instead of the full report")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	flag.Parse()
@@ -89,6 +90,9 @@ func main() {
 	if *maxTime > 0 {
 		opts = append(opts, mavbench.WithMaxMissionTime(*maxTime))
 	}
+	if *vehicles > 1 {
+		opts = append(opts, mavbench.WithVehicles(*vehicles))
+	}
 
 	spec, err := mavbench.NewSpec(*workload, opts...)
 	if err != nil {
@@ -107,4 +111,8 @@ func main() {
 	}
 	fmt.Printf("workload: %s on %s (spec %s)\n", res.Spec.Workload, res.Platform, res.SpecHash[:12])
 	fmt.Print(res.Report.String())
+	for i, rep := range res.VehicleReports {
+		fmt.Printf("--- drone %d ---\n", i)
+		fmt.Print(rep.String())
+	}
 }

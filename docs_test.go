@@ -1,0 +1,221 @@
+// Documentation gates, run by the CI docs job:
+//
+//   - TestDocsRelativeLinks walks every markdown file in the repo root, docs/
+//     and examples/ and fails on relative links (or #fragment anchors into
+//     this repo's files) that point at nothing — so a renamed doc or section
+//     cannot silently orphan its references.
+//   - TestGodocExportedIdentifiers parses every non-test file under pkg/...
+//     and fails on exported identifiers without a doc comment — the public
+//     API surface must stay fully documented.
+package mavbench_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns the markdown files the link checker covers: the repo
+// root's top-level *.md plus everything under docs/ and examples/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	root, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range root {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, e.Name())
+		}
+	}
+	for _, dir := range []string{"docs", "examples"} {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return files
+}
+
+// mdLink matches inline markdown links [text](target). Images and reference
+// definitions are rare enough here that the inline form is the contract.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// mdHeading matches ATX headings, whose GitHub anchor slugs the checker
+// reproduces (lowercase, spaces to dashes, punctuation dropped).
+var mdHeading = regexp.MustCompile(`(?m)^#{1,6}\s+(.+)$`)
+
+var slugStrip = regexp.MustCompile(`[^a-z0-9 _-]`)
+
+func headingSlug(h string) string {
+	s := strings.ToLower(strings.TrimSpace(h))
+	s = slugStrip.ReplaceAllString(s, "")
+	return strings.ReplaceAll(s, " ", "-")
+}
+
+func markdownAnchors(content string) map[string]bool {
+	anchors := map[string]bool{}
+	for _, m := range mdHeading.FindAllStringSubmatch(content, -1) {
+		anchors[headingSlug(m[1])] = true
+	}
+	return anchors
+}
+
+func TestDocsRelativeLinks(t *testing.T) {
+	// Anchor sets per markdown file, loaded lazily for fragment checks.
+	anchorCache := map[string]map[string]bool{}
+	anchorsOf := func(path string) map[string]bool {
+		if a, ok := anchorCache[path]; ok {
+			return a
+		}
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s for anchors: %v", path, err)
+		}
+		a := markdownAnchors(string(buf))
+		anchorCache[path] = a
+		return a
+	}
+
+	checked := 0
+	for _, file := range docFiles(t) {
+		buf, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		content := string(buf)
+		for _, m := range mdLink.FindAllStringSubmatch(content, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; availability is not this test's business
+			}
+			checked++
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := file // pure-fragment links point into their own file
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(file), path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken relative link %q (%v)", file, target, err)
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(resolved, ".md") {
+				if !anchorsOf(resolved)[frag] {
+					t.Errorf("%s: link %q points at a heading %q that %s does not have",
+						file, target, frag, resolved)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("link checker matched no relative links; the markdown scan is broken")
+	}
+	t.Logf("checked %d relative links across %d files", checked, len(docFiles(t)))
+}
+
+// publicPackages returns every directory under pkg/ containing Go files.
+func publicPackages(t *testing.T) []string {
+	t.Helper()
+	dirs := map[string]bool{}
+	err := filepath.WalkDir("pkg", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for d := range dirs {
+		out = append(out, d)
+	}
+	return out
+}
+
+// exportedReceiver reports whether fn is a plain function or a method whose
+// receiver type is itself exported.
+func exportedReceiver(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	typ := fn.Recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if idx, ok := typ.(*ast.IndexExpr); ok { // generic receiver T[P]
+		typ = idx.X
+	}
+	ident, ok := typ.(*ast.Ident)
+	return ok && ident.IsExported()
+}
+
+func TestGodocExportedIdentifiers(t *testing.T) {
+	var missing []string
+	report := func(fset *token.FileSet, pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+
+	for _, dir := range publicPackages(t) {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					switch d := decl.(type) {
+					case *ast.FuncDecl:
+						if d.Name.IsExported() && d.Doc.Text() == "" && exportedReceiver(d) {
+							// Methods count when the receiver is exported:
+							// an exported method on an unexported type is
+							// only reachable through interfaces, not godoc.
+							report(fset, d.Pos(), "func", d.Name.Name)
+						}
+					case *ast.GenDecl:
+						for _, spec := range d.Specs {
+							switch s := spec.(type) {
+							case *ast.TypeSpec:
+								if s.Name.IsExported() && d.Doc.Text() == "" && s.Doc.Text() == "" && s.Comment.Text() == "" {
+									report(fset, s.Pos(), "type", s.Name.Name)
+								}
+							case *ast.ValueSpec:
+								for _, name := range s.Names {
+									if name.IsExported() && d.Doc.Text() == "" && s.Doc.Text() == "" && s.Comment.Text() == "" {
+										report(fset, name.Pos(), "const/var", name.Name)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("%d exported identifiers under pkg/ lack doc comments:\n%s",
+			len(missing), strings.Join(missing, "\n"))
+	}
+}

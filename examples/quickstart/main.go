@@ -28,6 +28,9 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Run executes through the default process-wide world cache: repeated
+	// runs over the same world (any spec differing only in compute-side
+	// knobs) build it once and fly deep clones, with bit-identical results.
 	result, err := mavbench.Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)

@@ -82,7 +82,21 @@ type Params struct {
 	MaxMissionTimeS float64
 	// KeepTraces enables power/phase time-series collection.
 	KeepTraces bool
+
+	// Vehicles is the number of drones flying the mission together (0 and 1
+	// both mean the classic single-vehicle run; Normalize canonicalizes to 0).
+	// With N ≥ 2 the run becomes a fleet mission: one shared world, N
+	// independent simulators in lockstep with inter-vehicle collision checks,
+	// per-drone seeds derived by DeriveVehicleSeed, and coordinated workload
+	// variants (see docs/MULTIVEHICLE.md). Vehicle count is a compute-side
+	// knob: it joins ComputeHash but not WorldHash, so fleets of every size
+	// share one cached world.
+	Vehicles int
 }
+
+// MaxVehicles bounds the fleet size; larger swarms exhaust small worlds and
+// mostly measure the collision checker.
+const MaxVehicles = 8
 
 // Detectors returns the canonical object-detector kernel names.
 func Detectors() []string { return []string{"haar", "hog", "yolo"} }
@@ -185,6 +199,9 @@ func (p Params) Validate() error {
 	if err := validateKnob("extent_scale", p.ScenarioKnobs.ExtentScale); err != nil {
 		return err
 	}
+	if p.Vehicles < 0 || p.Vehicles > MaxVehicles {
+		return fmt.Errorf("core: vehicles = %d out of range [0, %d] (0 or 1 = single drone)", p.Vehicles, MaxVehicles)
+	}
 	return nil
 }
 
@@ -240,7 +257,20 @@ func (p Params) Normalize() Params {
 	if p.CloudLink.BandwidthMbps == 0 {
 		p.CloudLink = compute.LAN1Gbps()
 	}
+	if p.Vehicles <= 1 {
+		// 0 is the canonical single-vehicle spelling — it keeps hashes and
+		// serialized forms of classic runs byte-identical to the pre-fleet era.
+		p.Vehicles = 0
+	}
 	return p
+}
+
+// VehicleCount returns the effective number of drones (always ≥ 1).
+func (p Params) VehicleCount() int {
+	if p.Vehicles < 1 {
+		return 1
+	}
+	return p.Vehicles
 }
 
 // OperatingPoint returns the compute operating point of the run.
@@ -351,6 +381,10 @@ type Result struct {
 	Params Params
 	// PlatformName identifies the simulated companion computer.
 	PlatformName string
+	// VehicleReports holds the per-drone QoF reports of a multi-vehicle run,
+	// in vehicle-index order; Report is then their telemetry.Merge aggregate.
+	// Nil for single-vehicle runs.
+	VehicleReports []telemetry.Report
 	// Err is set when the run failed or panicked inside a Runner pool; the
 	// Report is zero in that case. Direct Run calls report errors through
 	// their error return instead. JSON encodes it as an "error" string (see
@@ -362,15 +396,16 @@ type Result struct {
 // flattened to a string so failed runs survive serialization instead of
 // silently encoding as a zero report.
 type resultJSON struct {
-	Report       telemetry.Report
-	Params       Params
-	PlatformName string
-	Error        string `json:"error,omitempty"`
+	Report         telemetry.Report
+	Params         Params
+	PlatformName   string
+	VehicleReports []telemetry.Report `json:",omitempty"`
+	Error          string             `json:"error,omitempty"`
 }
 
 // MarshalJSON encodes the result with Err rendered as an "error" string.
 func (r Result) MarshalJSON() ([]byte, error) {
-	out := resultJSON{Report: r.Report, Params: r.Params, PlatformName: r.PlatformName}
+	out := resultJSON{Report: r.Report, Params: r.Params, PlatformName: r.PlatformName, VehicleReports: r.VehicleReports}
 	if r.Err != nil {
 		out.Error = r.Err.Error()
 	}
@@ -384,7 +419,7 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &in); err != nil {
 		return err
 	}
-	*r = Result{Report: in.Report, Params: in.Params, PlatformName: in.PlatformName}
+	*r = Result{Report: in.Report, Params: in.Params, PlatformName: in.PlatformName, VehicleReports: in.VehicleReports}
 	if in.Error != "" {
 		r.Err = errors.New(in.Error)
 	}
@@ -423,21 +458,11 @@ func RunWithCache(p Params, wc *env.WorldCache) (Result, error) {
 	}
 
 	platform := compute.TX2(p.Cores, p.FreqGHz)
-	cfg := sim.DefaultConfig(p.Seed)
-	cfg.Platform = platform
-	cfg.DepthNoiseStd = p.DepthNoiseStd
-	cfg.KeepTraces = p.KeepTraces
-	if p.MaxMissionTimeS > 0 {
-		cfg.MaxMissionTimeS = p.MaxMissionTimeS
-	}
-	if p.CloudOffload {
-		remote := compute.NewCostModel(compute.CloudServer())
-		edge := compute.NewCostModel(platform)
-		cfg.Offload = compute.NewOffloader(edge, remote, p.CloudLink,
-			compute.KernelShortestPath, compute.KernelFrontierExplore, compute.KernelSmoothing)
+	if p.VehicleCount() > 1 {
+		return runFleet(p, w, platform, world, start)
 	}
 
-	s, err := sim.New(cfg, world, start)
+	s, err := sim.New(simConfig(p, platform), world, start)
 	if err != nil {
 		return Result{}, err
 	}
@@ -452,6 +477,25 @@ func RunWithCache(p Params, wc *env.WorldCache) (Result, error) {
 		return Result{}, err
 	}
 	return Result{Report: report, Params: p, PlatformName: platform.Name}, nil
+}
+
+// simConfig translates run parameters into a simulator configuration (shared
+// by the single-vehicle path and each drone of a fleet).
+func simConfig(p Params, platform compute.Platform) sim.Config {
+	cfg := sim.DefaultConfig(p.Seed)
+	cfg.Platform = platform
+	cfg.DepthNoiseStd = p.DepthNoiseStd
+	cfg.KeepTraces = p.KeepTraces
+	if p.MaxMissionTimeS > 0 {
+		cfg.MaxMissionTimeS = p.MaxMissionTimeS
+	}
+	if p.CloudOffload {
+		remote := compute.NewCostModel(compute.CloudServer())
+		edge := compute.NewCostModel(platform)
+		cfg.Offload = compute.NewOffloader(edge, remote, p.CloudLink,
+			compute.KernelShortestPath, compute.KernelFrontierExplore, compute.KernelSmoothing)
+	}
+	return cfg
 }
 
 // RunSweep executes the same workload across a set of operating points,

@@ -72,6 +72,29 @@ func DeriveSeed(baseSeed int64, workload string, cores int, freqGHz float64, rep
 	return seed
 }
 
+// DeriveVehicleSeed derives drone vehicle's seed within a multi-vehicle run
+// from the run's seed. Drone 0 keeps the run seed unchanged — so the lead
+// drone of a fleet draws exactly the sensor-noise and planner streams of the
+// equivalent single-vehicle run — and every other drone gets an independent
+// stream mixed from its index alone, never from fleet size or scheduling.
+func DeriveVehicleSeed(runSeed int64, vehicle int) int64 {
+	if vehicle <= 0 {
+		return runSeed
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(runSeed))
+	h.Write(buf[:])
+	h.Write([]byte("vehicle"))
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(vehicle)))
+	h.Write(buf[:])
+	seed := int64(h.Sum64() & math.MaxInt64)
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
 // SweepParams expands a base parameter set into one run per operating point,
 // each with its seed derived from the point's identity.
 //

@@ -71,6 +71,12 @@ func (p Params) ComputeHash() string {
 		f(float64(c.CloudLink.RTT)), f(c.CloudLink.DropProbability))
 	fmt.Fprintf(&b, "max_mission_time_s=%s\n", f(c.MaxMissionTimeS))
 	fmt.Fprintf(&b, "keep_traces=%t\n", c.KeepTraces)
+	// Vehicle count is compute-side identity (N drones fly the same cached
+	// world), appended only for fleets so every pre-fleet single-vehicle
+	// ComputeHash stays byte-identical.
+	if c.VehicleCount() > 1 {
+		fmt.Fprintf(&b, "vehicles=%d\n", c.Vehicles)
+	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }

@@ -3,7 +3,9 @@
 // Registry that serves the Prometheus text exposition format (version 0.0.4)
 // over HTTP. It exists so mavbenchd can expose a /metrics endpoint without
 // pulling the Prometheus client library into a module that is otherwise
-// dependency-free.
+// dependency-free — the observability layer for the fleets that regenerate
+// the paper's compute-sweep campaigns (MAVBench, Boroujerdian et al.,
+// MICRO 2018, Figures 10-15) at scale.
 //
 // All types are safe for concurrent use. Exposition output is deterministic:
 // families sort by name, series by label values — so tests can pin scrapes.

@@ -118,6 +118,10 @@ type FrontierRequest struct {
 	// InformationRadius is the sensor radius used to estimate how much
 	// unknown volume a candidate would reveal.
 	InformationRadius float64
+	// Region, when non-nil, restricts candidates to this X/Y rectangle (Z is
+	// still governed by Floor/Ceiling). Multi-vehicle swarm exploration uses
+	// it to keep each drone inside its assigned sector.
+	Region *geom.AABB
 }
 
 // FrontierResult is the chosen exploration goal.
@@ -159,6 +163,11 @@ func SelectFrontier(req FrontierRequest) FrontierResult {
 	var cands []geom.Vec3
 	for _, c := range cells {
 		if req.Ceiling > req.Floor && (c.Z < req.Floor || c.Z > req.Ceiling) {
+			continue
+		}
+		if req.Region != nil &&
+			(c.X < req.Region.Min.X || c.X > req.Region.Max.X ||
+				c.Y < req.Region.Min.Y || c.Y > req.Region.Max.Y) {
 			continue
 		}
 		if c.Dist(req.Current) < req.MinGoalDistance {

@@ -3,7 +3,10 @@
 // that keeps synthesized "difficulty" comparable across environment families,
 // and a deterministic cross-entropy optimizer that hunts the knob space for
 // the settings that maximize an objective (collision rate, quality-of-flight
-// drop) at a chosen compute operating point.
+// drop) at a chosen compute operating point. The axis it searches extends
+// the environment sensitivity the paper studies with hand-picked maps
+// (MAVBench, Boroujerdian et al., MICRO 2018, Section VI) into an
+// automatically discovered difficulty frontier.
 //
 // Everything here is deterministic by construction: all randomness flows from
 // explicit int64 seeds through math/rand sources (and world seeds through

@@ -71,6 +71,13 @@ type Config struct {
 	// FCConfig configures the flight controller; zero value uses defaults.
 	FCConfig actuation.Config
 
+	// VehicleIndex / VehicleCount identify this simulator's drone within a
+	// multi-vehicle fleet (see Fleet). Single-drone runs leave both zero;
+	// workloads use them to coordinate (sector partitioning, altitude
+	// corridors) without any cross-simulator communication.
+	VehicleIndex int
+	VehicleCount int
+
 	// MaxMissionTimeS aborts the run after this much virtual time (0 = 1800 s).
 	MaxMissionTimeS float64
 	// KeepTraces enables power/phase time series in the telemetry report.
@@ -271,6 +278,19 @@ func (s *Simulator) Config() Config { return s.cfg }
 
 // Now returns the current virtual time in seconds.
 func (s *Simulator) Now() float64 { return s.engine.NowSeconds() }
+
+// VehicleIndex returns this drone's index within its fleet (0 for
+// single-vehicle runs and for the first drone of a fleet).
+func (s *Simulator) VehicleIndex() int { return s.cfg.VehicleIndex }
+
+// VehicleCount returns the number of drones sharing the mission; it is always
+// at least 1, so single-vehicle code paths need no special-casing.
+func (s *Simulator) VehicleCount() int {
+	if s.cfg.VehicleCount < 1 {
+		return 1
+	}
+	return s.cfg.VehicleCount
+}
 
 // TrueState returns the vehicle's ground-truth state.
 func (s *Simulator) TrueState() physics.State { return s.vehicle.State() }

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Merge folds the per-drone reports of a multi-vehicle mission into one
+// fleet-level summary (see docs/MULTIVEHICLE.md for the schema):
+//
+//   - mission time is the slowest drone (the fleet mission ends when the last
+//     drone does); flight/hover time, distance, energies, kernel totals and
+//     counters are summed across drones;
+//   - average speed is recomputed as total distance over total flight time;
+//     max speed is the fleet maximum;
+//   - Means average the per-drone means, Maxes take the fleet maximum;
+//   - Success requires every drone to succeed; FailureReason names the first
+//     failing drone (by vehicle index);
+//   - traces (power/phase) are kept per-drone only — the merged report leaves
+//     them nil, since interleaving N timelines into one series is meaningless.
+//
+// Merge of a single report returns it unchanged (traces included).
+func Merge(reports []Report) Report {
+	if len(reports) == 0 {
+		return Report{}
+	}
+	if len(reports) == 1 {
+		return reports[0]
+	}
+	out := Report{
+		Success:     true,
+		KernelTime:  map[string]time.Duration{},
+		KernelCount: map[string]uint64{},
+		KernelMean:  map[string]time.Duration{},
+		Counters:    map[string]float64{},
+		Means:       map[string]float64{},
+		Maxes:       map[string]float64{},
+	}
+	meanCounts := map[string]int{}
+	for i, rep := range reports {
+		if rep.MissionTimeS > out.MissionTimeS {
+			out.MissionTimeS = rep.MissionTimeS
+		}
+		out.FlightTimeS += rep.FlightTimeS
+		out.HoverTimeS += rep.HoverTimeS
+		out.DistanceM += rep.DistanceM
+		out.RotorEnergyKJ += rep.RotorEnergyKJ
+		out.ComputeEnergyKJ += rep.ComputeEnergyKJ
+		out.TotalEnergyKJ += rep.TotalEnergyKJ
+		if rep.MaxSpeed > out.MaxSpeed {
+			out.MaxSpeed = rep.MaxSpeed
+		}
+		if !rep.Success && out.Success {
+			out.Success = false
+			out.FailureReason = fmt.Sprintf("drone %d: %s", i, rep.FailureReason)
+		}
+		for k, v := range rep.KernelTime {
+			out.KernelTime[k] += v
+		}
+		for k, v := range rep.KernelCount {
+			out.KernelCount[k] += v
+		}
+		for k, v := range rep.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range rep.Means {
+			out.Means[k] += v
+			meanCounts[k]++
+		}
+		for k, v := range rep.Maxes {
+			if cur, ok := out.Maxes[k]; !ok || v > cur {
+				out.Maxes[k] = v
+			}
+		}
+	}
+	if out.FlightTimeS > 0 {
+		out.AverageSpeed = out.DistanceM / out.FlightTimeS
+	}
+	for k := range out.KernelTime {
+		if n := out.KernelCount[k]; n > 0 {
+			out.KernelMean[k] = out.KernelTime[k] / time.Duration(n)
+		}
+	}
+	for k, n := range meanCounts {
+		out.Means[k] /= float64(n)
+	}
+	return out
+}

@@ -43,11 +43,19 @@ func (Mapping3D) World(p core.Params) (*env.World, geom.Vec3, error) {
 
 // Setup implements core.Workload.
 func (Mapping3D) Setup(s *sim.Simulator, p core.Params) error {
-	return setupExploration(s, p, explorationConfig{
+	cfg := explorationConfig{
 		targetKnownFraction: mappingTarget(p),
 		onFrame:             nil,
 		stopOnDetection:     false,
-	})
+	}
+	// Cooperative mapping: like swarm search and rescue, each drone of a
+	// fleet maps its own X-slab of the volume.
+	if n := s.VehicleCount(); n > 1 {
+		sector := swarmSector(s.World().Bounds, s.VehicleIndex(), n)
+		cfg.region = &sector
+		cfg.targetKnownFraction /= float64(n)
+	}
+	return setupExploration(s, p, cfg)
 }
 
 // mappingTarget is the fraction of the bounded volume that must be observed
@@ -74,6 +82,39 @@ type explorationConfig struct {
 	onFrame func(nav *navigator, msg ros.Message) (found bool, result ros.CallbackResult)
 	// stopOnDetection ends the mission when onFrame reports found.
 	stopOnDetection bool
+	// region, when non-nil, confines exploration to this X/Y sector: frontier
+	// selection only considers in-sector candidates, and a drone outside its
+	// sector transits to the sector centre instead of giving up when no
+	// in-sector frontier is visible yet. Swarm search-and-rescue assigns one
+	// sector per drone (see swarmSector).
+	region *geom.AABB
+}
+
+// swarmSector partitions the world's X extent into count equal slabs and
+// returns drone vehicle's slab (full Y/Z extent). Slab assignment depends
+// only on (vehicle, count), never on runtime state, so the partition is
+// deterministic across runs and worker counts.
+func swarmSector(bounds geom.AABB, vehicle, count int) geom.AABB {
+	if count <= 1 {
+		return bounds
+	}
+	width := (bounds.Max.X - bounds.Min.X) / float64(count)
+	sector := bounds
+	sector.Min.X = bounds.Min.X + float64(vehicle)*width
+	sector.Max.X = sector.Min.X + width
+	return sector
+}
+
+// transitCorridorAltitude is the altitude a fleet drone uses while flying
+// toward its assigned sector: a per-vehicle layer above the exploration floor,
+// clamped below the world ceiling. Single-drone runs never transit.
+func transitCorridorAltitude(s *sim.Simulator) float64 {
+	const layer = 2.0
+	alt := s.World().Bounds.Min.Z + 2 + layer*float64(s.VehicleIndex())
+	if ceiling := s.World().Bounds.Max.Z - 2; alt > ceiling {
+		alt = ceiling
+	}
+	return alt
 }
 
 func setupExploration(s *sim.Simulator, p core.Params, cfg explorationConfig) error {
@@ -107,20 +148,37 @@ func setupExploration(s *sim.Simulator, p core.Params, cfg explorationConfig) er
 		exploring = true
 		_ = s.Hover()
 		s.Graph().Executor().Submit("frontier_exploration", func(now time.Duration) ros.CallbackResult {
+			pos := nav.pose().Position
 			res := planning.SelectFrontier(planning.FrontierRequest{
 				Map:               nav.octo,
-				Current:           nav.pose().Position,
+				Current:           pos,
 				Radius:            s.VehicleRadius(),
 				MaxCandidates:     300,
 				MinGoalDistance:   3,
 				Floor:             s.World().Bounds.Min.Z + 1,
 				Ceiling:           s.World().Bounds.Max.Z - 1,
 				InformationRadius: s.DepthCamera().Intrinsics.MaxRange / 2,
+				Region:            cfg.region,
 			})
 			cost := s.Cost().MustKernelTime(compute.KernelFrontierExplore)
 			total := s.KernelTime(compute.KernelFrontierExplore, cost, nav.octo.MemoryBytes()/4, 16*1024)
 			if res.Exhausted {
-				noFrontier++
+				if cfg.region != nil && (pos.X < cfg.region.Min.X || pos.X > cfg.region.Max.X ||
+					pos.Y < cfg.region.Min.Y || pos.Y > cfg.region.Max.Y) {
+					// No in-sector frontier is visible yet because the drone
+					// hasn't reached its sector: transit toward the sector
+					// centre instead of declaring the sector swept. Each drone
+					// transits in its own altitude layer (the same deconfliction
+					// scheme as the delivery corridors) so crossing another
+					// drone's sector en route cannot cause a mid-air collision.
+					center := cfg.region.Center()
+					alt := transitCorridorAltitude(s)
+					goal := findClearSpot(s.World(), geom.V3(center.X, center.Y, alt), 2.0)
+					nav.planTo(goal, nil)
+					s.Recorder().Count("sector_transits", 1)
+				} else {
+					noFrontier++
+				}
 			} else if res.Found {
 				noFrontier = 0
 				goal := res.Goal

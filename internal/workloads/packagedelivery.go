@@ -54,7 +54,7 @@ func (PackageDelivery) Setup(s *sim.Simulator, p core.Params) error {
 	for _, o := range s.World().ObstaclesOfKind(env.KindDeliveryPad) {
 		padPos = o.Center()
 	}
-	cruiseAlt := 6.0
+	cruiseAlt := deliveryCorridorAltitude(s)
 	deliveryGoal := geom.V3(padPos.X, padPos.Y, cruiseAlt)
 	homeGoal := geom.V3(s.TrueState().Position.X, s.TrueState().Position.Y, cruiseAlt)
 
@@ -114,4 +114,19 @@ func (PackageDelivery) Setup(s *sim.Simulator, p core.Params) error {
 	return startFlight(s, func() {
 		requestPlan(deliveryGoal)
 	})
+}
+
+// deliveryCorridorAltitude deconflicts multi-drone deliveries by assigning
+// each drone of a fleet its own cruise-altitude layer: drone 0 keeps the
+// classic 6 m corridor, each further drone stacks 2.5 m higher (clamped under
+// the world ceiling). All drones serve the same pad, but their transit
+// corridors never share an altitude band, so head-on traffic between the
+// depot and the pad cannot meet. Single-vehicle runs always get 6 m.
+func deliveryCorridorAltitude(s *sim.Simulator) float64 {
+	const base, layer = 6.0, 2.5
+	alt := base + layer*float64(s.VehicleIndex())
+	if ceiling := s.World().Bounds.Max.Z - 2; alt > ceiling {
+		alt = ceiling
+	}
+	return alt
 }

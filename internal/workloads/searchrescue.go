@@ -66,9 +66,18 @@ func (SearchAndRescue) Setup(s *sim.Simulator, p core.Params) error {
 		return false, res
 	}
 
-	return setupExploration(s, p, explorationConfig{
+	cfg := explorationConfig{
 		targetKnownFraction: mappingTarget(p) + 0.2,
 		onFrame:             onFrame,
 		stopOnDetection:     true,
-	})
+	}
+	// Swarm search and rescue: each drone sweeps its own X-slab of the area.
+	// The volumetric target scales with the sector share — a drone has "swept
+	// its sector" once its share of the volume is known.
+	if n := s.VehicleCount(); n > 1 {
+		sector := swarmSector(s.World().Bounds, s.VehicleIndex(), n)
+		cfg.region = &sector
+		cfg.targetKnownFraction /= float64(n)
+	}
+	return setupExploration(s, p, cfg)
 }

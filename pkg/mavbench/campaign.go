@@ -20,8 +20,13 @@ type Result struct {
 	Spec Spec `json:"spec"`
 	// Platform names the simulated companion computer.
 	Platform string `json:"platform,omitempty"`
-	// Report is the quality-of-flight summary (zero when Error is set).
+	// Report is the quality-of-flight summary (zero when Error is set). For
+	// multi-vehicle runs it is the fleet aggregate across VehicleReports.
 	Report Report `json:"report"`
+	// VehicleReports holds the per-drone reports of a multi-vehicle run in
+	// vehicle-index order (nil for classic single-drone runs); Report is then
+	// their aggregate. See docs/MULTIVEHICLE.md for the merge semantics.
+	VehicleReports []Report `json:"vehicle_reports,omitempty"`
 	// Error is set when the run failed, panicked, or was rejected by
 	// validation; it serializes so failed runs stay visible on the wire.
 	Error string `json:"error,omitempty"`
@@ -176,6 +181,7 @@ func (c *Campaign) runOne(index int, spec Spec) (res Result) {
 	}
 	res.Platform = runRes.PlatformName
 	res.Report = runRes.Report
+	res.VehicleReports = runRes.VehicleReports
 	if c.cache != nil {
 		c.cache.Put(hash, res)
 	}

@@ -1,6 +1,8 @@
 // Package client is a Go client for the mavbenchd /v1 HTTP API: submit
 // campaigns, stream NDJSON results, and run batches against a single server
-// or a fleet coordinator — the programmatic form of `mavbench-sweep -remote`.
+// or a fleet coordinator — the programmatic form of `mavbench-sweep -remote`,
+// and the path by which the paper-scale sweeps (MAVBench, Boroujerdian et
+// al., MICRO 2018, Figures 10-15) are farmed out to a fleet.
 package client
 
 import (
@@ -68,6 +70,7 @@ type APIError struct {
 	RetryAfter time.Duration
 }
 
+// Error formats the server's status, message and machine-readable code.
 func (e *APIError) Error() string {
 	msg := fmt.Sprintf("mavbenchd returned %d: %s", e.Status, e.Message)
 	if e.Code != "" {

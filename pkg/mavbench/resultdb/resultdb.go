@@ -1,7 +1,8 @@
 // Package resultdb is the segmented analytics result store: a compacting,
 // append-only backend for the mavbench.ResultStore interface that scales
 // past DiskStore's one-file-per-hash layout and adds the query surface the
-// paper's QoF-versus-compute studies need.
+// paper's QoF-versus-compute studies (MAVBench, Boroujerdian et al.,
+// MICRO 2018, Figures 10-15) need.
 //
 // # Layout
 //

@@ -68,6 +68,13 @@ type Spec struct {
 	MaxMissionTimeS float64 `json:"max_mission_time_s,omitempty"`
 	// KeepTraces enables power/phase time-series collection.
 	KeepTraces bool `json:"keep_traces,omitempty"`
+
+	// Vehicles is the number of drones flying the mission together (0 and 1
+	// both mean the classic single-drone run — the canonical form is 0). With
+	// N ≥ 2 the run is a fleet mission over one shared world: per-drone seeds,
+	// inter-vehicle collision checks, coordinated workload variants and
+	// per-drone reports in Result.VehicleReports. See docs/MULTIVEHICLE.md.
+	Vehicles int `json:"vehicles,omitempty"`
 }
 
 // CloudLink describes the network between the MAV and a cloud server, in
@@ -229,6 +236,12 @@ func WithMaxMissionTime(seconds float64) Option {
 // WithTraces enables power/phase time-series collection in the report.
 func WithTraces() Option { return func(s *Spec) { s.KeepTraces = true } }
 
+// WithVehicles sets the number of drones flying the mission together
+// (1 = the classic single-drone run; up to 8). Multi-vehicle runs share one
+// world, perform inter-vehicle collision checks, and report per-drone metrics
+// in Result.VehicleReports; see docs/MULTIVEHICLE.md.
+func WithVehicles(n int) Option { return func(s *Spec) { s.Vehicles = n } }
+
 // NewSpec builds and validates a run spec. Unknown workload, kernel or
 // environment names and out-of-range knobs are reported here, at build time,
 // with errors listing the valid values — never silently defaulted inside the
@@ -330,6 +343,12 @@ func (s Spec) Hash() string {
 	fmt.Fprintf(&b, "world_scale=%s\n", f(c.WorldScale))
 	fmt.Fprintf(&b, "max_mission_time_s=%s\n", f(c.MaxMissionTimeS))
 	fmt.Fprintf(&b, "keep_traces=%t\n", c.KeepTraces)
+	// The vehicles line joins the address only for fleets (canonical
+	// single-drone form is 0), so every pre-fleet hash — result stores,
+	// golden traces, dedup keys — stays byte-identical.
+	if c.Vehicles > 1 {
+		fmt.Fprintf(&b, "vehicles=%d\n", c.Vehicles)
+	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }
@@ -370,6 +389,7 @@ func (s Spec) params() core.Params {
 		WorldScale:        s.WorldScale,
 		MaxMissionTimeS:   s.MaxMissionTimeS,
 		KeepTraces:        s.KeepTraces,
+		Vehicles:          s.Vehicles,
 	}
 	if s.CloudLink != nil {
 		p.CloudLink = s.CloudLink.compute()
@@ -401,6 +421,7 @@ func specFromParams(p core.Params) Spec {
 		WorldScale:        p.WorldScale,
 		MaxMissionTimeS:   p.MaxMissionTimeS,
 		KeepTraces:        p.KeepTraces,
+		Vehicles:          p.Vehicles,
 	}
 	if p.CloudLink != (compute.CloudLink{}) {
 		l := linkFromCompute(p.CloudLink)

@@ -81,6 +81,18 @@ func DeriveSeed(baseSeed int64, workload string, cores int, freqGHz float64, rep
 	return core.DeriveSeed(baseSeed, workload, cores, freqGHz, repeat)
 }
 
+// MaxVehicles is the largest fleet WithVehicles accepts.
+const MaxVehicles = core.MaxVehicles
+
+// DeriveVehicleSeed derives drone `vehicle`'s seed within a multi-vehicle run
+// from the run's seed: drone 0 keeps the run seed (its sensor-noise and
+// planner streams match the equivalent single-drone run), every other drone
+// gets an independent stream mixed from its index alone. Exposed so external
+// tooling can reproduce a single drone of a fleet in isolation.
+func DeriveVehicleSeed(runSeed int64, vehicle int) int64 {
+	return core.DeriveVehicleSeed(runSeed, vehicle)
+}
+
 // SweepSpecs expands a base spec into one spec per operating point, each with
 // its seed derived from the point's identity — the primitive behind the
 // paper's heat maps. Pass the result to NewCampaign.

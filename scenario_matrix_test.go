@@ -32,6 +32,9 @@ const matrixManifestPath = "testdata/scenario_matrix.json"
 type matrixCell struct {
 	Workload string `json:"workload"`
 	Scenario string `json:"scenario"`
+	// Vehicles is the fleet size of a swarm cell (omitted for the classic
+	// single-drone cells, matching the spec's canonical form).
+	Vehicles int    `json:"vehicles,omitempty"`
 	SpecHash string `json:"spec_hash"`
 	// Success records the pinned mission outcome (collisions in dense
 	// worlds legitimately fail missions; that outcome must be stable, not
@@ -87,6 +90,27 @@ func matrixSpecs(t testing.TB) ([]matrixCell, []mavbench.Spec) {
 			cells = append(cells, matrixCell{Workload: info.Name, Scenario: scenario, SpecHash: spec.Hash()})
 			specs = append(specs, spec)
 		}
+	}
+	// One three-drone swarm search-and-rescue cell per environment family:
+	// the multi-vehicle runner must complete without engine errors in every
+	// family's default scenario, and its fleet spec hashes must stay stable.
+	for _, family := range []string{"disaster", "farm", "park", "urban"} {
+		scenario := family + "-default"
+		spec, err := mavbench.NewSpec("search_and_rescue",
+			mavbench.WithScenario(scenario),
+			mavbench.WithSeed(1234),
+			mavbench.WithWorldScale(0.3),
+			mavbench.WithLocalizer("ground_truth"),
+			mavbench.WithMaxMissionTime(300),
+			mavbench.WithVehicles(3),
+		)
+		if err != nil {
+			t.Fatalf("building swarm matrix spec %s: %v", scenario, err)
+		}
+		cells = append(cells, matrixCell{
+			Workload: "search_and_rescue", Scenario: scenario, Vehicles: 3, SpecHash: spec.Hash(),
+		})
+		specs = append(specs, spec)
 	}
 	return cells, specs
 }
